@@ -1,0 +1,80 @@
+// E5 (Theorem 4.2): the quantitative blunting bound, tabulated.
+//
+//   Prob[O^k] <= Prob[O_a] + (1 − (max{0,k−r}/k)^(n−1)) (Prob[O] − Prob[O_a])
+//
+// Series reproduced:
+//   * the adversary-advantage fraction 1 − ((k−r)/k)^(n−1) vs k for several
+//     (r, n) — it is 1 (vacuous) while k <= r and decays to 0 as k grows;
+//   * the bound instantiated with the weakener's Prob[O_a] = 1/2,
+//     Prob[O] = 1 — the k-sweep's guarantee column;
+//   * the trade-off knob: the smallest k achieving a target fraction
+//     (Section 4.2's time-vs-probability trade-off).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/bounds.hpp"
+
+namespace blunt {
+namespace {
+
+void run() {
+  bench::print_header("E5: Theorem 4.2 bound tables");
+
+  std::printf("\nadversary-advantage fraction 1 - (max{0,k-r}/k)^(n-1):\n");
+  bench::print_rule();
+  std::printf("%6s", "k");
+  struct Cfg {
+    int r;
+    int n;
+  };
+  const Cfg cfgs[] = {{1, 2}, {1, 3}, {2, 3}, {4, 3}, {1, 8}, {8, 8}};
+  for (const Cfg& c : cfgs) std::printf("  r=%d,n=%d", c.r, c.n);
+  std::printf("\n");
+  bench::print_rule();
+  for (const int k : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128}) {
+    std::printf("%6d", k);
+    for (const Cfg& c : cfgs) {
+      const double f =
+          1.0 - core::prob_x_lower_bound(k, c.r, c.n).to_double();
+      std::printf("  %7.4f", f);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nbound on Prob[bad] for the weakener instance (Prob[O_a]=1/2, "
+      "Prob[O]=1, r=1, n=3):\n");
+  bench::print_rule();
+  std::printf("%6s %16s %18s\n", "k", "bound (exact)", "termination >=");
+  bench::print_rule();
+  for (const int k : {1, 2, 3, 4, 8, 16, 32, 64}) {
+    const Rational b =
+        core::theorem42_bound(k, 1, 3, Rational(1), Rational(1, 2));
+    std::printf("%6d %16s %18s\n", k, b.to_string().c_str(),
+                (Rational(1) - b).to_string().c_str());
+  }
+
+  std::printf(
+      "\nsmallest k for a target adversary-advantage fraction (Section 4.2 "
+      "trade-off):\n");
+  bench::print_rule();
+  std::printf("%10s", "eps");
+  for (const Cfg& c : cfgs) std::printf("  r=%d,n=%d", c.r, c.n);
+  std::printf("\n");
+  bench::print_rule();
+  for (const double eps : {0.5, 0.25, 0.1, 0.05, 0.01}) {
+    std::printf("%10.2f", eps);
+    for (const Cfg& c : cfgs) {
+      std::printf("  %7d", core::k_for_fraction(eps, c.r, c.n));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace blunt
+
+int main() {
+  blunt::run();
+  return 0;
+}

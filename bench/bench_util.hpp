@@ -1,0 +1,47 @@
+// Shared builders for the benchmark suite.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "adversary/mc_search.hpp"
+#include "objects/abd.hpp"
+#include "programs/weakener.hpp"
+#include "sim/coin.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::bench {
+
+/// Weakener over ABD^k registers, coin seeded for Monte-Carlo trials.
+inline adversary::McInstance make_abd_weakener(std::uint64_t coin_seed,
+                                               int k) {
+  adversary::McInstance inst;
+  inst.world = std::make_unique<sim::World>(
+      sim::Config{}, std::make_unique<sim::SeededCoin>(coin_seed));
+  auto r = std::make_shared<objects::AbdRegister>(
+      "R", *inst.world,
+      objects::AbdRegister::Options{.num_processes = 3,
+                                    .preamble_iterations = k});
+  auto c = std::make_shared<objects::AbdRegister>(
+      "C", *inst.world,
+      objects::AbdRegister::Options{.num_processes = 3,
+                                    .initial = sim::Value(std::int64_t{-1}),
+                                    .preamble_iterations = k});
+  auto out = std::make_shared<programs::WeakenerOutcome>();
+  programs::install_weakener(*inst.world, *r, *c, *out);
+  inst.bad = [out] { return out->looped(); };
+  inst.owned = {r, c, out};
+  return inst;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rule() {
+  std::printf("---------------------------------------------------------------"
+              "---------------\n");
+}
+
+}  // namespace blunt::bench

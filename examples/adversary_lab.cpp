@@ -1,0 +1,137 @@
+// Adversary lab: three ways to schedule the same program.
+//
+// The program: a flipper draws a coin; a writer publishes 1 to an atomic
+// register; a reader reads it. The "bad" outcome: the reader's view matches
+// the coin (sees 1 on heads, ⊥ on tails).
+//
+//   * a RANDOM scheduler hits the match only by luck (about 1/2 here,
+//     since either coin value can be matched by an accidental ordering);
+//   * a SCRIPTED strong adversary observes the coin and arranges the match
+//     deterministically — probability 1;
+//   * the EXHAUSTIVE explorer proves 1 is optimal (and would find the
+//     strategy even if we hadn't written it by hand).
+#include <cstdio>
+#include <memory>
+
+#include "adversary/explorer.hpp"
+#include "adversary/scripted.hpp"
+#include "common/stats.hpp"
+#include "mem/base_register.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/coin.hpp"
+
+namespace {
+
+using namespace blunt;
+
+struct Setup {
+  std::unique_ptr<sim::World> world;
+  std::shared_ptr<mem::BaseRegister> reg;
+  std::shared_ptr<int> coin;
+  std::shared_ptr<sim::Value> seen;
+
+  [[nodiscard]] bool bad() const {
+    if (*coin == 1) return *seen == sim::Value(std::int64_t{1});
+    return sim::is_bottom(*seen);
+  }
+};
+
+Setup build(std::unique_ptr<sim::CoinSource> coins) {
+  Setup s;
+  s.world = std::make_unique<sim::World>(sim::Config{}, std::move(coins));
+  s.reg = std::make_shared<mem::BaseRegister>("r", sim::Value{});
+  s.coin = std::make_shared<int>(-1);
+  s.seen = std::make_shared<sim::Value>();
+  auto [reg, coin, seen] = std::tuple{s.reg, s.coin, s.seen};
+  s.world->add_process("flipper", [coin](sim::Proc p) -> sim::Task<void> {
+    *coin = co_await p.random(2, "coin");
+  });
+  s.world->add_process("writer", [reg](sim::Proc p) -> sim::Task<void> {
+    co_await reg->write(p, sim::Value(std::int64_t{1}));
+  });
+  s.world->add_process("reader", [reg, seen](sim::Proc p) -> sim::Task<void> {
+    *seen = co_await reg->read(p);
+  });
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Random scheduling: a weak adversary.
+  BernoulliEstimator random_rate;
+  for (std::uint64_t seed = 0; seed < 2000; ++seed) {
+    Setup s = build(std::make_unique<sim::SeededCoin>(seed));
+    sim::UniformAdversary adv(seed * 3 + 1);
+    if (s.world->run(adv).status != sim::RunStatus::kCompleted) continue;
+    random_rate.add(s.bad());
+  }
+  std::printf("random scheduler:   bad-outcome rate %.3f over %lld runs\n",
+              random_rate.mean(),
+              static_cast<long long>(random_rate.trials()));
+
+  // 2. A scripted strong adversary: flip first, observe, then steer.
+  int wins = 0;
+  for (const int coin : {0, 1}) {
+    Setup s = build(std::make_unique<sim::ScriptedCoin>(
+        std::vector<int>{coin}));
+    adversary::ScriptedAdversary adv;
+    adv.step("start the flipper", adversary::resume(0, "start"))
+        .step("draw the coin", adversary::resume(0, "coin"))
+        .branch("steer on the coin",
+                [](const sim::World& w, adversary::ScriptedAdversary& sub) {
+                  // Strong adversary: read the coin from the trace.
+                  const auto& entries = w.trace().entries();
+                  const std::int64_t c = sim::as_int(entries.back().value);
+                  if (c == 1) {
+                    // Heads: write first, then read -> reader sees 1.
+                    sub.step("run writer", adversary::resume(1, ""))
+                        .step("write", adversary::resume(1, ""))
+                        .step("run reader", adversary::resume(2, ""))
+                        .step("read", adversary::resume(2, ""));
+                  } else {
+                    // Tails: read first -> reader sees ⊥.
+                    sub.step("run reader", adversary::resume(2, ""))
+                        .step("read", adversary::resume(2, ""))
+                        .step("run writer", adversary::resume(1, ""))
+                        .step("write", adversary::resume(1, ""));
+                  }
+                });
+    if (s.world->run(adv).status == sim::RunStatus::kCompleted && s.bad()) {
+      ++wins;
+    }
+  }
+  std::printf("scripted adversary: wins %d/2 coin branches (probability 1)\n",
+              wins);
+
+  // 3. The exhaustive explorer: sup over ALL schedules, exactly.
+  const adversary::ExplorerResult ex = adversary::explore(
+      [](std::vector<int> coins) {
+        adversary::Instance inst = adversary::make_instance(std::move(coins));
+        auto reg = std::make_shared<mem::BaseRegister>("r", sim::Value{});
+        auto coin = std::make_shared<int>(-1);
+        auto seen = std::make_shared<sim::Value>();
+        inst.world->add_process("flipper",
+                                [coin](sim::Proc p) -> sim::Task<void> {
+                                  *coin = co_await p.random(2, "coin");
+                                });
+        inst.world->add_process("writer",
+                                [reg](sim::Proc p) -> sim::Task<void> {
+                                  co_await reg->write(
+                                      p, sim::Value(std::int64_t{1}));
+                                });
+        inst.world->add_process("reader",
+                                [reg, seen](sim::Proc p) -> sim::Task<void> {
+                                  *seen = co_await reg->read(p);
+                                });
+        inst.bad = [coin, seen] {
+          if (*coin == 1) return *seen == sim::Value(std::int64_t{1});
+          return sim::is_bottom(*seen);
+        };
+        inst.owned = {reg, coin, seen};
+        return inst;
+      });
+  std::printf("exhaustive search:  optimal value %s over %ld executions\n",
+              ex.value.to_string().c_str(), ex.executions);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// The paper's story in one runnable demo: Algorithm 1 (the weakener) over
+// three different register implementations.
+//
+//   1. ATOMIC registers: p2 terminates with probability >= 1/2 no matter the
+//      adversary (exact game value: bad outcome = 1/2).
+//   2. Plain ABD: the Figure 1 strong adversary forces p2 to loop forever
+//      for BOTH coin values — linearizability alone does not preserve the
+//      program's probabilistic guarantee.
+//   3. ABD² (the preamble-iterating transformation with k = 2): the optimal
+//      adversary wins with probability exactly 5/8 — the adversary is
+//      blunted, and p2 terminates with probability >= 3/8, approaching the
+//      atomic 1/2 as k grows.
+#include <cstdio>
+
+#include "adversary/figure1.hpp"
+#include "game/abd_phase_game.hpp"
+#include "game/solver.hpp"
+#include "game/weakener_game.hpp"
+
+int main() {
+  using namespace blunt;
+
+  std::printf("Algorithm 1 (the weakener):\n");
+  std::printf("  p0: R := 0\n");
+  std::printf("  p1: R := 1; C := coin\n");
+  std::printf("  p2: u1 := R; u2 := R; c := C;\n");
+  std::printf("      if (u1 = c and u2 = 1 - c) loop forever\n\n");
+
+  // 1. Atomic registers: exact optimal-adversary value.
+  const Rational atomic = game::solve(game::AtomicWeakenerGame{});
+  std::printf("[1] atomic registers: optimal adversary makes p2 loop with "
+              "probability %s\n    (p2 terminates with probability %s — "
+              "Appendix A.1)\n\n",
+              atomic.to_string().c_str(),
+              (Rational(1) - atomic).to_string().c_str());
+
+  // 2. Plain ABD: replay the paper's explicit Figure 1 schedule.
+  std::printf("[2] plain ABD: replaying the Figure 1 adversary...\n");
+  for (const int coin : {0, 1}) {
+    const adversary::Figure1Run run = adversary::run_figure1(coin);
+    std::printf("    coin=%d: u1=%s u2=%s c=%s -> p2 %s\n", coin,
+                sim::to_string(run.outcome.u1).c_str(),
+                sim::to_string(run.outcome.u2).c_str(),
+                sim::to_string(run.outcome.c).c_str(),
+                run.outcome.looped() ? "LOOPS FOREVER" : "terminates");
+  }
+  const Rational abd1 = game::solve(game::AbdPhaseWeakenerGame(1));
+  std::printf("    exact optimal-adversary value over plain ABD: %s — "
+              "termination probability 0 (Appendix A.2)\n\n",
+              abd1.to_string().c_str());
+
+  // 3. ABD²: the blunted adversary.
+  const Rational abd2 = game::solve(game::AbdPhaseWeakenerGame(2));
+  std::printf("[3] ABD² (preamble iterated twice, Algorithm 4): optimal "
+              "adversary value %s\n    p2 terminates with probability %s — "
+              "the Appendix A.3.2 bound 5/8 is tight.\n",
+              abd2.to_string().c_str(),
+              (Rational(1) - abd2).to_string().c_str());
+  std::printf("\nBlunting: %s (ABD) -> %s (ABD²) -> %s (atomic limit as "
+              "k -> ∞).\n",
+              abd1.to_string().c_str(), abd2.to_string().c_str(),
+              atomic.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Exhaustive schedule/coin exploration on the fine-grained simulator.
+//
+// Computes Prob[P(O) → B] = sup over strong adversaries of the probability
+// over coins of reaching B — exactly — for SMALL program/object instances,
+// by depth-first search over (event-choice string, coin string) pairs with
+// deterministic replay: the simulator is a pure function of those two
+// strings, so each tree node is re-executed from scratch.
+//
+// The adversary-information constraint of Section 2.4 holds by construction:
+// a coin value enters the coin string only at the moment its random step
+// executes, so scheduling choices made earlier are shared by all coin
+// outcomes, and choices made later may differ per outcome.
+//
+// Cost: one fresh run per tree node. Use for atomic-object programs and tiny
+// shared-memory fragments (the message-passing objects blow up; their exact
+// values come from src/game). The explorer can also collect every terminal
+// execution's history, which feeds PrefixTree::merge to refute strong
+// linearizability of real objects from real executions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rational.hpp"
+#include "lin/history.hpp"
+#include "sim/coin.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::adversary {
+
+/// One freshly-built program instance for a given coin script. `owned` keeps
+/// objects (registers etc.) alive for the world's lifetime.
+struct Instance {
+  std::unique_ptr<sim::World> world;
+  sim::ScriptedCoin* coin = nullptr;  // owned by world
+  std::function<bool()> bad;          // outcome predicate, read at completion
+  std::vector<std::shared_ptr<void>> owned;
+};
+
+using Factory = std::function<Instance(std::vector<int> coins)>;
+
+/// Builds an Instance skeleton with a fresh World wired to a ScriptedCoin.
+[[nodiscard]] Instance make_instance(std::vector<int> coins,
+                                     int max_steps = 200000);
+
+struct ExplorerConfig {
+  long max_nodes = 5'000'000;  // replay budget (tree nodes)
+  int max_depth = 5'000;
+  bool collect_histories = false;
+  int max_histories = 50'000;
+};
+
+struct ExplorerResult {
+  Rational value;      // exact sup-probability (valid if !truncated)
+  long executions = 0; // terminal executions reached
+  long nodes = 0;      // tree nodes (replays)
+  bool truncated = false;
+  std::vector<lin::History> histories;  // terminal histories, if collected
+};
+
+[[nodiscard]] ExplorerResult explore(const Factory& factory,
+                                     const ExplorerConfig& cfg = {});
+
+}  // namespace blunt::adversary

@@ -1,0 +1,193 @@
+#include "adversary/figure1.hpp"
+
+#include "common/assert.hpp"
+#include "sim/coin.hpp"
+
+namespace blunt::adversary {
+
+namespace {
+
+// The coin value p1 drew, read off the trace (the strong adversary observes
+// past random choices — Section 2.4).
+int observed_coin(const sim::World& w) {
+  for (auto it = w.trace().entries().rbegin(); it != w.trace().entries().rend();
+       ++it) {
+    if (it->kind == sim::StepKind::kRandom &&
+        it->what.find("program-coin") != std::string::npos) {
+      return static_cast<int>(sim::as_int(it->value));
+    }
+  }
+  BLUNT_UNREACHABLE("figure1 branch reached before the program coin flip");
+}
+
+// Appendix A.2, Case 1 (coin = 0): make the pending Read return 0 and the
+// second Read return 1. W0 completes with timestamp (1,0) — linearized
+// before W1's (1,1).
+void coin0_branch(const std::string& r, ScriptedAdversary& s) {
+  s.step("p2 replies ⊥ to W0's query", deliver(2, r + " query sn=0 from p0"))
+      .step("W0 gets p2's ⊥ reply",
+            deliver(0, r + " reply sn=0 val=⊥ ts=(0,0) from p2"))
+      .step("W0 finishes query: t=0", resume(0, r + ".query-quorum"))
+      .step("W0 broadcasts update (0,(1,0))", resume(0, r + ".update-bcast"))
+      .step("p2 applies W0's update", deliver(2, {r + " update sn=1", "from p0"}))
+      .step("p0 acks W0's (stale) update",
+            deliver(0, {r + " update sn=1", "from p0"}))
+      .step("W0 ack from p2", deliver(0, r + " ack sn=1 from p2"))
+      .step("W0 ack from p0", deliver(0, r + " ack sn=1 from p0"))
+      .step("W0 returns", resume(0, r + ".update-quorum"))
+      .step("p2's own server replies (0,(1,0)) to R1",
+            deliver(2, r + " query sn=0 from p2"))
+      .step("R1 gets p2's reply",
+            deliver(2, r + " reply sn=0 val=0 ts=(1,0) from p2"))
+      .step("R1 finishes query: value 0", resume(2, r + ".query-quorum"))
+      .step("R1 write-back broadcast", resume(2, r + ".update-bcast"))
+      .step("R1 write-back at p2", deliver(2, {r + " update sn=1", "from p2"}))
+      .step("R1 write-back at p0", deliver(0, {r + " update sn=1", "from p2"}))
+      .step("R1 ack from p2", deliver(2, r + " ack sn=1 from p2"))
+      .step("R1 ack from p0", deliver(2, r + " ack sn=1 from p0"))
+      .step("R1 returns 0", resume(2, r + ".update-quorum"))
+      .step("R2 broadcasts query", resume(2, r + ".query-bcast"))
+      .step("p0 replies (1,(1,1)) to R2",
+            deliver(0, r + " query sn=2 from p2"))
+      .step("p1 replies (1,(1,1)) to R2",
+            deliver(1, r + " query sn=2 from p2"))
+      .step("R2 gets p0's reply",
+            deliver(2, r + " reply sn=2 val=1 ts=(1,1) from p0"))
+      .step("R2 gets p1's reply",
+            deliver(2, r + " reply sn=2 val=1 ts=(1,1) from p1"))
+      .step("R2 finishes query: value 1", resume(2, r + ".query-quorum"))
+      .step("R2 write-back broadcast", resume(2, r + ".update-bcast"))
+      .step("R2 write-back at p0", deliver(0, {r + " update sn=3", "from p2"}))
+      .step("R2 write-back at p1", deliver(1, {r + " update sn=3", "from p2"}))
+      .step("R2 ack from p0", deliver(2, r + " ack sn=3 from p0"))
+      .step("R2 ack from p1", deliver(2, r + " ack sn=3 from p1"))
+      .step("R2 returns 1", resume(2, r + ".update-quorum"));
+}
+
+// Appendix A.2, Case 2 (coin = 1): the pending Read returns 1; W0 completes
+// with timestamp (2,0) — linearized after W1 — and the second Read returns 0.
+void coin1_branch(const std::string& r, ScriptedAdversary& s) {
+  s.step("p1 replies (1,(1,1)) to W0's query",
+         deliver(1, r + " query sn=0 from p0"))
+      .step("W0 gets p1's reply",
+            deliver(0, r + " reply sn=0 val=1 ts=(1,1) from p1"))
+      .step("p1 replies (1,(1,1)) to R1",
+            deliver(1, r + " query sn=0 from p2"))
+      .step("R1 gets p1's reply",
+            deliver(2, r + " reply sn=0 val=1 ts=(1,1) from p1"))
+      .step("R1 finishes query: value 1", resume(2, r + ".query-quorum"))
+      .step("R1 write-back broadcast", resume(2, r + ".update-bcast"))
+      .step("R1 write-back at p2", deliver(2, {r + " update sn=1", "from p2"}))
+      .step("R1 write-back at p1", deliver(1, {r + " update sn=1", "from p2"}))
+      .step("R1 ack from p2", deliver(2, r + " ack sn=1 from p2"))
+      .step("R1 ack from p1", deliver(2, r + " ack sn=1 from p1"))
+      .step("R1 returns 1", resume(2, r + ".update-quorum"))
+      .step("W0 finishes query: t=1", resume(0, r + ".query-quorum"))
+      .step("W0 broadcasts update (0,(2,0))", resume(0, r + ".update-bcast"))
+      .step("p0 applies W0's update", deliver(0, {r + " update sn=1", "from p0"}))
+      .step("p1 applies W0's update", deliver(1, {r + " update sn=1", "from p0"}))
+      .step("p2 applies W0's update", deliver(2, {r + " update sn=1", "from p0"}))
+      .step("W0 ack from p0", deliver(0, r + " ack sn=1 from p0"))
+      .step("W0 ack from p1", deliver(0, r + " ack sn=1 from p1"))
+      .step("W0 returns", resume(0, r + ".update-quorum"))
+      .step("R2 broadcasts query", resume(2, r + ".query-bcast"))
+      .step("p0 replies (0,(2,0)) to R2",
+            deliver(0, r + " query sn=2 from p2"))
+      .step("p1 replies (0,(2,0)) to R2",
+            deliver(1, r + " query sn=2 from p2"))
+      .step("R2 gets p0's reply",
+            deliver(2, r + " reply sn=2 val=0 ts=(2,0) from p0"))
+      .step("R2 gets p1's reply",
+            deliver(2, r + " reply sn=2 val=0 ts=(2,0) from p1"))
+      .step("R2 finishes query: value 0", resume(2, r + ".query-quorum"))
+      .step("R2 write-back broadcast", resume(2, r + ".update-bcast"))
+      .step("R2 write-back at p0", deliver(0, {r + " update sn=3", "from p2"}))
+      .step("R2 write-back at p1", deliver(1, {r + " update sn=3", "from p2"}))
+      .step("R2 ack from p0", deliver(2, r + " ack sn=3 from p0"))
+      .step("R2 ack from p1", deliver(2, r + " ack sn=3 from p1"))
+      .step("R2 returns 0", resume(2, r + ".update-quorum"));
+}
+
+}  // namespace
+
+std::unique_ptr<ScriptedAdversary> make_figure1_adversary(
+    const std::string& r_name, const std::string& c_name) {
+  auto adv = std::make_unique<ScriptedAdversary>();
+  const std::string& r = r_name;
+  // -- Common prefix (before the coin flip) --
+  adv->step("p0 begins Write(0)", resume(0, "start"))
+      .step("W0 broadcasts query", resume(0, r + ".query-bcast"))
+      .step("p0's own server gets W0's query",
+            deliver(0, r + " query sn=0 from p0"))
+      .step("W0 gets its first (⊥) reply",
+            deliver(0, r + " reply sn=0 val=⊥ ts=(0,0) from p0"))
+      .step("p1 begins Write(1)", resume(1, "start"))
+      .step("W1 broadcasts query", resume(1, r + ".query-bcast"))
+      .step("p1's own server gets W1's query",
+            deliver(1, r + " query sn=0 from p1"))
+      .step("W1 reply from p1",
+            deliver(1, r + " reply sn=0 val=⊥ ts=(0,0) from p1"))
+      .step("p0 gets W1's query", deliver(0, r + " query sn=0 from p1"))
+      .step("W1 reply from p0",
+            deliver(1, r + " reply sn=0 val=⊥ ts=(0,0) from p0"))
+      .step("p2 gets W1's query", deliver(2, r + " query sn=0 from p1"))
+      .step("W1 reply from p2",
+            deliver(1, r + " reply sn=0 val=⊥ ts=(0,0) from p2"))
+      .step("W1 finishes query: t=0", resume(1, r + ".query-quorum"))
+      .step("W1 broadcasts update (1,(1,1))", resume(1, r + ".update-bcast"))
+      .step("p2 begins its first Read", resume(2, "start"))
+      .step("R1 broadcasts query", resume(2, r + ".query-bcast"))
+      .step("p0 gets R1's query (still ⊥)",
+            deliver(0, r + " query sn=0 from p2"))
+      .step("R1 gets p0's ⊥ reply (held at 1 reply)",
+            deliver(2, r + " reply sn=0 val=⊥ ts=(0,0) from p0"))
+      .step("p1 applies W1's update", deliver(1, {r + " update sn=1", "from p1"}))
+      .step("p0 applies W1's update", deliver(0, {r + " update sn=1", "from p1"}))
+      .step("W1 ack from p1", deliver(1, r + " ack sn=1 from p1"))
+      .step("W1 ack from p0", deliver(1, r + " ack sn=1 from p0"))
+      .step("W1 returns", resume(1, r + ".update-quorum"))
+      .step("p1 flips the program coin", resume(1, "program-coin"))
+      .branch("steer on the observed coin",
+              [r](const sim::World& w, ScriptedAdversary& sub) {
+                if (observed_coin(w) == 0) {
+                  coin0_branch(r, sub);
+                } else {
+                  coin1_branch(r, sub);
+                }
+              });
+  // -- Tail: complete p1's write of C (updates first so every replica holds
+  // the coin), then let p2 read C and finish. --
+  adv->drive("complete p1's C write",
+             {deliver(0, c_name + " update"), deliver(1, c_name + " update"),
+              deliver(2, c_name + " update"), resume(1, ""),
+              any_event(c_name + " ")},
+             [](const sim::World& w) { return w.process_done(1); })
+      .drive("finish p2",
+             {resume(2, ""), any_event(c_name + " "), any_event("")},
+             [](const sim::World& w) { return w.finished(); });
+  return adv;
+}
+
+Figure1Run run_figure1(int coin_value) {
+  BLUNT_ASSERT(coin_value == 0 || coin_value == 1, "coin must be 0 or 1");
+  Figure1Run run;
+  run.world = std::make_unique<sim::World>(
+      sim::Config{},
+      std::make_unique<sim::ScriptedCoin>(std::vector<int>{coin_value}));
+  run.r = std::make_shared<objects::AbdRegister>(
+      "R", *run.world, objects::AbdRegister::Options{.num_processes = 3});
+  run.c = std::make_shared<objects::AbdRegister>(
+      "C", *run.world,
+      objects::AbdRegister::Options{
+          .num_processes = 3, .initial = sim::Value(std::int64_t{-1})});
+  run.r_object_id = run.r->object_id();
+  run.c_object_id = run.c->object_id();
+  programs::install_weakener(*run.world, *run.r, *run.c, run.outcome);
+  auto adv = make_figure1_adversary("R", "C");
+  const sim::RunResult res = run.world->run(*adv);
+  BLUNT_ASSERT(res.status == sim::RunStatus::kCompleted,
+               "figure1 run did not complete: " << to_string(res.status));
+  return run;
+}
+
+}  // namespace blunt::adversary

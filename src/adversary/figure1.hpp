@@ -1,0 +1,52 @@
+// The Figure 1 strong adversary (Appendix A.2): an explicit schedule that
+// forces the weakener (Algorithm 1) over plain ABD registers to reach the
+// bad outcome with probability 1 — p2 never terminates, for either coin
+// value.
+//
+// The schedule, in the paper's terms:
+//  * p0's Write(0) and p2's first Read are driven into their query phases
+//    and HELD there (one reply each) while p1's Write(1) completes with
+//    timestamp (1,1) — but p1's update is kept away from p2's replica.
+//  * p1 flips the coin. The adversary observes it (strong adversary) and
+//    branches:
+//    - coin = 0: complete p0's Write with both remaining query replies still
+//      ⊥ (timestamp (1,0) < (1,1): W0 linearizes BEFORE W1), plant value 0
+//      at p2's replica, let the pending Read finish there (u1 = 0), and let
+//      the second Read see W1 (u2 = 1).
+//    - coin = 1: feed the pending Read p1's reply (u1 = 1), then finish
+//      p0's Write with a query that saw (1,1) (timestamp (2,0): W0
+//      linearizes AFTER W1) and apply it everywhere so the second Read
+//      returns 0 (u2 = 0).
+//  * Either way u1 = c and u2 = 1 − c: p2 loops forever.
+#pragma once
+
+#include <memory>
+
+#include "adversary/scripted.hpp"
+#include "objects/abd.hpp"
+#include "programs/weakener.hpp"
+
+namespace blunt::adversary {
+
+/// Builds the Figure 1 adversary for a weakener instance whose registers are
+/// plain (k = 1) ABD registers named `r_name` and `c_name` over 3 processes.
+[[nodiscard]] std::unique_ptr<ScriptedAdversary> make_figure1_adversary(
+    const std::string& r_name = "R", const std::string& c_name = "C");
+
+/// Convenience: runs the weakener over ABD registers under the Figure 1
+/// adversary with the given coin value and returns the outcome (which always
+/// satisfies outcome.looped()). The World is returned via out-param factory
+/// style so callers can inspect traces/histories.
+struct Figure1Run {
+  programs::WeakenerOutcome outcome;
+  std::unique_ptr<sim::World> world;
+  // The registers outlive the world's run (process frames refer to them).
+  std::shared_ptr<objects::AbdRegister> r;
+  std::shared_ptr<objects::AbdRegister> c;
+  int r_object_id = -1;
+  int c_object_id = -1;
+};
+
+[[nodiscard]] Figure1Run run_figure1(int coin_value);
+
+}  // namespace blunt::adversary

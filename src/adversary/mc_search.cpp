@@ -1,0 +1,37 @@
+#include "adversary/mc_search.hpp"
+
+#include "common/assert.hpp"
+#include "sim/adversaries.hpp"
+
+namespace blunt::adversary {
+
+McSearchResult search_random_adversaries(const McFactory& factory,
+                                         int scheduler_seeds,
+                                         int trials_per_seed) {
+  BLUNT_ASSERT(scheduler_seeds >= 1 && trials_per_seed >= 1,
+               "need at least one seed and one trial");
+  McSearchResult res;
+  for (std::uint64_t s = 0; s < static_cast<std::uint64_t>(scheduler_seeds);
+       ++s) {
+    BernoulliEstimator est;
+    for (std::uint64_t t = 0;
+         t < static_cast<std::uint64_t>(trials_per_seed); ++t) {
+      McInstance inst = factory(/*coin_seed=*/s * 1000003 + t);
+      sim::UniformAdversary adv(s);
+      const sim::RunResult r = inst.world->run(adv);
+      BLUNT_ASSERT(r.status == sim::RunStatus::kCompleted,
+                   "Monte-Carlo trial did not complete: "
+                       << to_string(r.status));
+      const bool bad = inst.bad();
+      est.add(bad);
+      res.pooled.add(bad);
+    }
+    if (est.mean() > res.best_rate) {
+      res.best_rate = est.mean();
+      res.best_seed = s;
+    }
+  }
+  return res;
+}
+
+}  // namespace blunt::adversary

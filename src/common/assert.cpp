@@ -1,0 +1,19 @@
+#include "common/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace blunt {
+
+void assert_fail(const char* cond, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "BLUNT_ASSERT failed: %s\n  at %s:%d\n", cond, file,
+               line);
+  if (!msg.empty()) {
+    std::fprintf(stderr, "  %s\n", msg.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace blunt

@@ -1,0 +1,36 @@
+// Library-wide invariant checking.
+//
+// BLUNT_ASSERT is always on (simulation correctness depends on invariants, and
+// none of the checks are on hot paths that matter for a logical-time
+// simulator). On failure it prints the condition, location, and an optional
+// message, then aborts.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace blunt {
+
+/// Called by BLUNT_ASSERT on failure; prints diagnostics and aborts.
+[[noreturn]] void assert_fail(const char* cond, const char* file, int line,
+                              const std::string& msg);
+
+}  // namespace blunt
+
+#define BLUNT_ASSERT(cond, ...)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::std::ostringstream blunt_assert_os_;                            \
+      blunt_assert_os_ << "" __VA_ARGS__;                               \
+      ::blunt::assert_fail(#cond, __FILE__, __LINE__,                   \
+                           blunt_assert_os_.str());                     \
+    }                                                                   \
+  } while (false)
+
+#define BLUNT_UNREACHABLE(...)                                          \
+  do {                                                                  \
+    ::std::ostringstream blunt_assert_os_;                              \
+    blunt_assert_os_ << "" __VA_ARGS__;                                 \
+    ::blunt::assert_fail("unreachable", __FILE__, __LINE__,             \
+                         blunt_assert_os_.str());                       \
+  } while (false)

@@ -1,0 +1,110 @@
+#include "common/rational.hpp"
+
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace blunt {
+namespace {
+
+// Multiply with overflow check.
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  BLUNT_ASSERT(!__builtin_mul_overflow(a, b, &r),
+               "Rational overflow in multiply: " << a << " * " << b);
+  return r;
+}
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  BLUNT_ASSERT(!__builtin_add_overflow(a, b, &r),
+               "Rational overflow in add: " << a << " + " << b);
+  return r;
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t numerator) : num_(numerator), den_(1) {}
+
+Rational::Rational(std::int64_t numerator, std::int64_t denominator)
+    : num_(numerator), den_(denominator) {
+  BLUNT_ASSERT(denominator != 0, "Rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  const std::int64_t g = std::gcd(den_, o.den_);
+  const std::int64_t lhs = checked_mul(num_, o.den_ / g);
+  const std::int64_t rhs = checked_mul(o.num_, den_ / g);
+  num_ = checked_add(lhs, rhs);
+  den_ = checked_mul(den_ / g, o.den_);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
+
+Rational& Rational::operator*=(const Rational& o) {
+  // Cross-reduce before multiplying to delay overflow.
+  const std::int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, o.den_);
+  const std::int64_t g2 = std::gcd(o.num_ < 0 ? -o.num_ : o.num_, den_);
+  num_ = checked_mul(num_ / g1, o.num_ / g2);
+  den_ = checked_mul(den_ / g2, o.den_ / g1);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  BLUNT_ASSERT(o.num_ != 0, "Rational division by zero");
+  return *this *= Rational(o.den_, o.num_);
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // a.num/a.den <=> b.num/b.den  with positive denominators.
+  const std::int64_t lhs = checked_mul(a.num_, b.den_);
+  const std::int64_t rhs = checked_mul(b.num_, a.den_);
+  return lhs <=> rhs;
+}
+
+Rational Rational::clamp_nonneg() const {
+  return num_ < 0 ? Rational(0) : *this;
+}
+
+Rational Rational::pow(int e) const {
+  BLUNT_ASSERT(e >= 0, "Rational::pow with negative exponent");
+  Rational result(1);
+  Rational base = *this;
+  while (e > 0) {
+    if (e & 1) result *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return result;
+}
+
+std::string Rational::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (r.den() != 1) os << '/' << r.den();
+  return os;
+}
+
+}  // namespace blunt

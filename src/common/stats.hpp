@@ -1,0 +1,64 @@
+// Small statistics helpers for Monte-Carlo experiments: sample means,
+// Wilson confidence intervals for Bernoulli estimates, and a running
+// accumulator. Benches use these to report termination-probability estimates
+// with confidence intervals next to the paper's exact values.
+#pragma once
+
+#include <cstdint>
+
+namespace blunt {
+
+/// Wilson score interval for a Bernoulli proportion.
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Wilson score interval at ~95% confidence (z = 1.96) for `successes` out of
+/// `trials`. Returns [0,1] when trials == 0.
+Interval wilson_interval(std::int64_t successes, std::int64_t trials,
+                         double z = 1.96);
+
+/// Streaming accumulator for Bernoulli outcomes.
+class BernoulliEstimator {
+ public:
+  void add(bool success) {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  [[nodiscard]] std::int64_t trials() const { return trials_; }
+  [[nodiscard]] std::int64_t successes() const { return successes_; }
+  [[nodiscard]] double mean() const {
+    return trials_ == 0 ? 0.0
+                        : static_cast<double>(successes_) /
+                              static_cast<double>(trials_);
+  }
+  [[nodiscard]] Interval interval(double z = 1.96) const {
+    return wilson_interval(successes_, trials_, z);
+  }
+
+ private:
+  std::int64_t successes_ = 0;
+  std::int64_t trials_ = 0;
+};
+
+/// Running mean/min/max for real-valued samples (step counts, message
+/// counts).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace blunt

@@ -1,0 +1,11 @@
+#include "common/types.hpp"
+
+#include <ostream>
+
+namespace blunt {
+
+std::ostream& operator<<(std::ostream& os, const Timestamp& ts) {
+  return os << '(' << ts.number << ',' << ts.writer << ')';
+}
+
+}  // namespace blunt

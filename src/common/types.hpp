@@ -1,0 +1,51 @@
+// Fundamental identifier types shared by every module.
+//
+// All are small value types. Process ids index into dense arrays everywhere,
+// so they are plain integers wrapped for type safety at API boundaries.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace blunt {
+
+/// Identifies a process (0-based, dense).
+using Pid = int;
+
+/// Identifies a method invocation within one execution (0-based, dense,
+/// assigned in call order). Matches the invocation identifiers of Section 2.1
+/// of the paper.
+using InvocationId = int;
+
+/// Sequence number of a step in an execution (0-based).
+using StepIndex = int;
+
+/// A timestamp as used by ABD and Vitanyi-Awerbuch: an (integer, process id)
+/// pair ordered lexicographically. The paper calls these "(integer, process
+/// id) pair" timestamps (Algorithm 3, line 4).
+struct Timestamp {
+  std::int64_t number = 0;
+  Pid writer = 0;
+
+  friend auto operator<=>(const Timestamp&, const Timestamp&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Timestamp& ts);
+
+/// Hash combiner (boost-style).
+inline std::size_t hash_combine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace blunt
+
+template <>
+struct std::hash<blunt::Timestamp> {
+  std::size_t operator()(const blunt::Timestamp& t) const noexcept {
+    return blunt::hash_combine(std::hash<std::int64_t>{}(t.number),
+                               std::hash<int>{}(t.writer));
+  }
+};

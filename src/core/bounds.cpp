@@ -1,0 +1,46 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace blunt::core {
+
+Rational prob_x_lower_bound(int k, int r, int n) {
+  BLUNT_ASSERT(k >= 1, "k >= 1 required, got " << k);
+  BLUNT_ASSERT(r >= 1, "r >= 1 required, got " << r);
+  BLUNT_ASSERT(n >= 1, "n >= 1 required, got " << n);
+  const Rational base(std::max(0, k - r), k);
+  return base.pow(n - 1);
+}
+
+Rational theorem42_bound(int k, int r, int n, const Rational& prob_lin,
+                         const Rational& prob_atomic) {
+  BLUNT_ASSERT(prob_atomic <= prob_lin,
+               "Prob[O_a] must be <= Prob[O] (Proposition 2.2): "
+                   << prob_atomic << " vs " << prob_lin);
+  const Rational fraction = Rational(1) - prob_x_lower_bound(k, r, n);
+  return prob_atomic + fraction * (prob_lin - prob_atomic);
+}
+
+double theorem42_bound_f(int k, int r, int n, double prob_lin,
+                         double prob_atomic) {
+  BLUNT_ASSERT(k >= 1 && r >= 1 && n >= 1, "bad parameters");
+  const double base =
+      static_cast<double>(std::max(0, k - r)) / static_cast<double>(k);
+  const double fraction = 1.0 - std::pow(base, n - 1);
+  return prob_atomic + fraction * (prob_lin - prob_atomic);
+}
+
+int k_for_fraction(double epsilon, int r, int n) {
+  BLUNT_ASSERT(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+  BLUNT_ASSERT(r >= 1 && n >= 1, "bad parameters");
+  if (n == 1) return 1;  // fraction is 0 for any k
+  for (int k = r + 1;; ++k) {
+    const double base = static_cast<double>(k - r) / static_cast<double>(k);
+    if (1.0 - std::pow(base, n - 1) <= epsilon) return k;
+    BLUNT_ASSERT(k < (1 << 26), "k_for_fraction diverged");
+  }
+}
+
+}  // namespace blunt::core

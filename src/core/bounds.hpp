@@ -1,0 +1,40 @@
+// The quantitative blunting bounds of Section 4.2.
+//
+// Theorem 4.2: for a program with n >= 1 processes and at most r >= 1 program
+// random steps, over tail strongly linearizable objects with effect-free
+// preambles,
+//
+//   Prob[O^k] <= Prob[O_a]
+//              + (1 − (max{0, k−r}/k)^(n−1)) · (Prob[O] − Prob[O_a]).
+//
+// Lemma 4.5 supplies the inner factor: Prob[X] >= (max{0, k−r}/k)^(n−1),
+// where X is the event that every object random step picks a
+// randomization-free preamble iteration.
+//
+// Exact (Rational) and floating-point forms are provided; benches print the
+// exact fractions the paper states (e.g. the 1/8 bound for ABD² in the
+// weakener: k=2, r=1, n=3, Prob[O_a]=1/2 bad, Prob[O]=1).
+#pragma once
+
+#include "common/rational.hpp"
+
+namespace blunt::core {
+
+/// Lemma 4.5 lower bound on Prob[X].
+[[nodiscard]] Rational prob_x_lower_bound(int k, int r, int n);
+
+/// Theorem 4.2 right-hand side (exact).
+[[nodiscard]] Rational theorem42_bound(int k, int r, int n,
+                                       const Rational& prob_lin,
+                                       const Rational& prob_atomic);
+
+/// Theorem 4.2 right-hand side (floating point, for large k sweeps).
+[[nodiscard]] double theorem42_bound_f(int k, int r, int n, double prob_lin,
+                                       double prob_atomic);
+
+/// Smallest k such that the adversary-advantage fraction
+/// 1 − ((k−r)/k)^(n−1) is at most `epsilon` (0 < epsilon < 1). This is the
+/// time-complexity / bad-outcome-probability trade-off knob of Section 4.2.
+[[nodiscard]] int k_for_fraction(double epsilon, int r, int n);
+
+}  // namespace blunt::core

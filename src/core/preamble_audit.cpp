@@ -1,0 +1,45 @@
+#include "core/preamble_audit.hpp"
+
+#include <sstream>
+
+#include "lin/history.hpp"
+
+namespace blunt::core {
+
+AuditResult audit_effect_free_preambles(const sim::World& w,
+                                        const lin::PreambleMapping& pi) {
+  AuditResult result;
+  const lin::History h = lin::History::from_world(w);
+  // For each invocation, find the trace index of its preamble-end mark.
+  std::vector<int> preamble_end(w.invocations().size(), -1);
+  for (const lin::Operation& op : h.ops()) {
+    const int line = pi.line_for(op);
+    if (line == 0) {
+      preamble_end[static_cast<std::size_t>(op.id)] = op.call_pos;
+      continue;
+    }
+    for (const auto& [l, idx] : op.line_passes) {
+      if (l >= line) {
+        preamble_end[static_cast<std::size_t>(op.id)] = idx;
+        break;
+      }
+    }
+  }
+  for (const sim::TraceEntry& e : w.trace().entries()) {
+    if (e.inv < 0) continue;
+    const int end = preamble_end[static_cast<std::size_t>(e.inv)];
+    // end == -1: the invocation never completed its preamble; every step of
+    // it so far is a preamble step.
+    const bool in_preamble = end < 0 || e.index < end;
+    if (!in_preamble) continue;
+    if (e.kind == sim::StepKind::kRegisterWrite) {
+      std::ostringstream os;
+      os << "base-register write inside preamble: " << e;
+      result.violations.push_back({e.inv, e.index, os.str()});
+      result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace blunt::core

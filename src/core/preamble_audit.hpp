@@ -1,0 +1,39 @@
+// Structural audit of effect-free preambles (Section 4.1).
+//
+// A computation step is effect-free if it is a local step, a base-object
+// invocation that is itself effect-free (e.g. a register read), or a
+// send/receive that does not modify the local state of the *receiving*
+// process beyond reply bookkeeping. The audit checks the verifiable part of
+// this on a recorded execution: within each invocation, no step attributed
+// to the invocation BEFORE its preamble-end mark may be a base-register
+// write. (Message-handler effects run inside delivery steps and are
+// attributed to the delivery, not the invocation; the protocol-specific
+// argument that preamble messages are effect-free — e.g. answering an ABD
+// query leaves the responder's replica untouched — is part of each object's
+// documentation and tests.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lin/strong.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::core {
+
+struct AuditViolation {
+  InvocationId inv = -1;
+  int trace_index = -1;
+  std::string detail;
+};
+
+struct AuditResult {
+  bool ok = true;
+  std::vector<AuditViolation> violations;
+};
+
+/// Checks every invocation recorded in `w` against `pi`.
+[[nodiscard]] AuditResult audit_effect_free_preambles(
+    const sim::World& w, const lin::PreambleMapping& pi);
+
+}  // namespace blunt::core

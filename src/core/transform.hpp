@@ -1,0 +1,54 @@
+// The preamble-iterating transformation (Algorithm 2, Section 4.1).
+//
+// Given an operation split into an effect-free PREAMBLE (everything up to the
+// control point Π(M)) and a tail, the transformed method M^k runs the
+// preamble k times, draws j uniformly from [0, k) (an *object random step*,
+// Section 4.3), and continues the tail with the j-th iteration's results:
+//
+//     method M^k(v):
+//       for i := 1 to k do  locals[i] := PREAMBLE(v)
+//       j := random([1..k])
+//       locals := locals[j]
+//       // rest of the code ...
+//
+// `iterate_preamble` is that transformation as a combinator: the snapshot,
+// Vitanyi–Awerbuch, and Israeli–Li objects feed it their preamble coroutine.
+// (AbdRegister instead spells the loop out, mirroring the paper's explicit
+// listing of ABD^k in Algorithm 4 — same semantics, see tests.)
+//
+// k == 1 performs no object random step, so the transformed object with k = 1
+// *is* the original deterministic object. This matters: the paper assumes
+// the original tail-strongly-linearizable objects are deterministic.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/task.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::core {
+
+/// Runs `preamble` k times and returns the results of a uniformly random
+/// iteration. `what` labels the object random step in the trace.
+template <typename Locals>
+sim::Task<Locals> iterate_preamble(sim::Proc p, InvocationId inv, int k,
+                                   std::function<sim::Task<Locals>()> preamble,
+                                   std::string what) {
+  BLUNT_ASSERT(k >= 1, "preamble iteration count must be >= 1, got " << k);
+  std::vector<Locals> locals;
+  locals.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    locals.push_back(co_await preamble());
+  }
+  int j = 0;
+  if (k > 1) {
+    j = co_await p.random(k, std::move(what), inv);
+  }
+  co_return std::move(locals[static_cast<std::size_t>(j)]);
+}
+
+}  // namespace blunt::core

@@ -1,0 +1,154 @@
+#include "lin/check.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace blunt::lin {
+
+namespace {
+
+class WingGong {
+ public:
+  WingGong(const History& h, const SequentialSpec& spec) : h_(h) {
+    state_ = spec.initial();
+    const int m = h_.size();
+    BLUNT_ASSERT(m <= 62, "history too large for bitmask checker: " << m);
+    for (int i = 0; i < m; ++i) {
+      if (!h_.op(i).pending()) completed_mask_ |= bit(i);
+    }
+  }
+
+  LinearizationResult run() {
+    LinearizationResult res;
+    res.linearizable = dfs(0);
+    if (res.linearizable) {
+      res.witness = witness_;
+    } else {
+      res.detail = "no linearization found";
+    }
+    return res;
+  }
+
+ private:
+  static std::uint64_t bit(int i) { return std::uint64_t{1} << i; }
+
+  // `done`: set of linearized ops. Success when all completed ops are done.
+  bool dfs(std::uint64_t done) {
+    if ((completed_mask_ & ~done) == 0) return true;
+    std::string key = std::to_string(done) + '|' + state_->encode();
+    if (failed_.contains(key)) return false;
+
+    const int m = h_.size();
+    for (int i = 0; i < m; ++i) {
+      if (done & bit(i)) continue;
+      if (!minimal(i, done)) continue;
+      const Operation& op = h_.op(i);
+      const sim::Value forced = state_->result_of(op);
+      if (!op.pending() && !(forced == *op.result)) continue;  // illegal here
+      // Linearize op i now.
+      std::unique_ptr<SpecState> saved = state_->clone();
+      state_->apply(op);
+      witness_.push_back(op.id);
+      if (dfs(done | bit(i))) return true;
+      witness_.pop_back();
+      state_ = std::move(saved);
+    }
+    failed_.insert(std::move(key));
+    return false;
+  }
+
+  // op i is minimal iff every op that really-precedes it is already done.
+  bool minimal(int i, std::uint64_t done) const {
+    const int m = h_.size();
+    for (int j = 0; j < m; ++j) {
+      if (j == i || (done & bit(j))) continue;
+      if (h_.precedes(j, i)) return false;
+    }
+    return true;
+  }
+
+  const History& h_;
+  std::unique_ptr<SpecState> state_;
+  std::uint64_t completed_mask_ = 0;
+  std::vector<InvocationId> witness_;
+  std::unordered_set<std::string> failed_;
+};
+
+}  // namespace
+
+LinearizationResult check_linearizable(const History& h,
+                                       const SequentialSpec& spec) {
+  return WingGong(h, spec).run();
+}
+
+bool check_all_objects(const History& h,
+                       const std::function<const SequentialSpec*(int)>& spec_for,
+                       std::string* why) {
+  // Collect the distinct object ids present.
+  std::unordered_set<int> objects;
+  for (const Operation& op : h.ops()) objects.insert(op.object_id);
+  for (int obj : objects) {
+    const SequentialSpec* spec = spec_for(obj);
+    if (spec == nullptr) continue;
+    const History proj = h.project_object(obj);
+    const LinearizationResult r = check_linearizable(proj, *spec);
+    if (!r.linearizable) {
+      if (why != nullptr) {
+        std::ostringstream os;
+        os << "object " << obj << " not linearizable:\n" << proj.to_string();
+        *why = os.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool validate_linearization(const History& h, const SequentialSpec& spec,
+                            const std::vector<InvocationId>& order,
+                            std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  // Every completed op present; no duplicates; all ops exist.
+  std::unordered_set<InvocationId> in_order(order.begin(), order.end());
+  if (in_order.size() != order.size()) return fail("duplicate op in order");
+  for (const Operation& op : h.ops()) {
+    if (!op.pending() && !in_order.contains(op.id)) {
+      return fail("completed op missing: " + op.describe());
+    }
+  }
+  for (InvocationId id : order) {
+    if (h.find(id) == nullptr) return fail("unknown op id in order");
+  }
+  // Real-time precedence.
+  for (std::size_t a = 0; a < order.size(); ++a) {
+    const Operation* oa = h.find(order[a]);
+    for (std::size_t b = a + 1; b < order.size(); ++b) {
+      const Operation* ob = h.find(order[b]);
+      if (ob->ret_pos >= 0 && ob->ret_pos < oa->call_pos) {
+        return fail("order violates precedence: " + ob->describe() +
+                    " must precede " + oa->describe());
+      }
+    }
+  }
+  // Spec legality.
+  std::unique_ptr<SpecState> state = spec.initial();
+  for (InvocationId id : order) {
+    const Operation* op = h.find(id);
+    const sim::Value forced = state->result_of(*op);
+    if (op->result.has_value() && !(forced == *op->result)) {
+      return fail("illegal result for " + op->describe() + ", spec forces " +
+                  sim::to_string(forced));
+    }
+    state->apply(*op);
+  }
+  return true;
+}
+
+}  // namespace blunt::lin

@@ -1,0 +1,50 @@
+// Linearizability checking (Section 2.2), Wing–Gong style: depth-first
+// search over linearization orders with memoization on (linearized-set,
+// spec-state) pairs.
+//
+// Pending operations (called, not returned) may be linearized — taking effect
+// with the spec's forced result — or omitted, per the ⊑ relation's
+// "completing some pending invocations ... removing some pending
+// invocations".
+//
+// The checker handles one object; use History::project_object and check each
+// object separately (linearizability is local).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lin/history.hpp"
+#include "lin/spec.hpp"
+
+namespace blunt::lin {
+
+struct LinearizationResult {
+  bool linearizable = false;
+  /// A witness linearization (invocation ids in order), when linearizable.
+  std::vector<InvocationId> witness;
+  /// Brief diagnosis when not linearizable.
+  std::string detail;
+};
+
+/// Is `h` linearizable w.r.t. `spec`? `h` must contain at most 62 operations.
+[[nodiscard]] LinearizationResult check_linearizable(const History& h,
+                                                     const SequentialSpec& spec);
+
+/// Convenience: checks every object projection of `h` against the spec
+/// returned by `spec_for(object_id)`; nullptr spec = skip that object.
+[[nodiscard]] bool check_all_objects(
+    const History& h,
+    const std::function<const SequentialSpec*(int)>& spec_for,
+    std::string* why = nullptr);
+
+/// Validates a caller-supplied linearization order: contains every completed
+/// op of `h`, only ops of `h`, respects real-time precedence, and is
+/// spec-legal. Used to cross-check witnesses and in tests.
+[[nodiscard]] bool validate_linearization(const History& h,
+                                          const SequentialSpec& spec,
+                                          const std::vector<InvocationId>& order,
+                                          std::string* why = nullptr);
+
+}  // namespace blunt::lin

@@ -1,0 +1,104 @@
+#include "lin/history.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::lin {
+
+std::string Operation::describe() const {
+  std::ostringstream os;
+  os << object_name << '.' << method << '(' << sim::to_string(argument)
+     << ")";
+  if (result.has_value()) {
+    os << "=>" << sim::to_string(*result);
+  } else {
+    os << "=>?";
+  }
+  os << " [p" << pid << " inv" << id << " @" << call_pos << ".."
+     << (ret_pos < 0 ? std::string("pending") : std::to_string(ret_pos))
+     << ']';
+  return os.str();
+}
+
+History::History(std::vector<Operation> ops) : ops_(std::move(ops)) {
+  std::sort(ops_.begin(), ops_.end(),
+            [](const Operation& a, const Operation& b) {
+              return a.call_pos < b.call_pos;
+            });
+}
+
+History History::from_world(const sim::World& w) {
+  std::vector<Operation> ops;
+  ops.reserve(w.invocations().size());
+  for (const sim::InvocationRecord& rec : w.invocations()) {
+    Operation op;
+    op.id = rec.id;
+    op.pid = rec.pid;
+    op.object_id = rec.object_id;
+    op.object_name = rec.object_name;
+    op.method = rec.method;
+    op.argument = rec.argument;
+    op.result = rec.result;
+    op.call_pos = rec.call_index;
+    op.ret_pos = rec.return_index;
+    op.line_passes = rec.line_passes;
+    ops.push_back(std::move(op));
+  }
+  return History(std::move(ops));
+}
+
+History History::project_object(int object_id) const {
+  std::vector<Operation> ops;
+  for (const Operation& op : ops_) {
+    if (op.object_id == object_id) ops.push_back(op);
+  }
+  return History(std::move(ops));
+}
+
+History History::prefix(int cut) const {
+  std::vector<Operation> ops;
+  for (const Operation& op : ops_) {
+    if (op.call_pos >= cut) continue;
+    Operation copy = op;
+    if (copy.ret_pos >= cut) {
+      copy.ret_pos = -1;
+      copy.result.reset();
+    }
+    // Drop line passes at or after the cut.
+    std::erase_if(copy.line_passes,
+                  [cut](const std::pair<int, int>& lp) {
+                    return lp.second >= cut;
+                  });
+    ops.push_back(std::move(copy));
+  }
+  return History(std::move(ops));
+}
+
+const Operation& History::op(int i) const {
+  BLUNT_ASSERT(i >= 0 && i < size(), "bad op index " << i);
+  return ops_[static_cast<std::size_t>(i)];
+}
+
+const Operation* History::find(InvocationId id) const {
+  for (const Operation& op : ops_) {
+    if (op.id == id) return &op;
+  }
+  return nullptr;
+}
+
+bool History::precedes(int a, int b) const {
+  const Operation& oa = op(a);
+  const Operation& ob = op(b);
+  return oa.ret_pos >= 0 && oa.ret_pos < ob.call_pos;
+}
+
+std::string History::to_string() const {
+  std::ostringstream os;
+  for (const Operation& op : ops_) os << op.describe() << '\n';
+  return os.str();
+}
+
+}  // namespace blunt::lin

@@ -1,0 +1,73 @@
+// Histories: the projection of an execution onto call and return actions
+// (Section 2.1 of the paper), extracted from a World's invocation table.
+//
+// An Operation is one method invocation with its call/return positions in
+// the global trace order. Real-time precedence (`a` precedes `b` iff `a`
+// returned before `b` was called) is what linearizations must preserve.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/trace.hpp"
+#include "sim/value.hpp"
+
+namespace blunt::sim {
+class World;
+}
+
+namespace blunt::lin {
+
+struct Operation {
+  InvocationId id = -1;
+  Pid pid = -1;
+  int object_id = -1;
+  std::string object_name;
+  std::string method;
+  sim::Value argument;
+  std::optional<sim::Value> result;  // empty = pending
+  int call_pos = -1;                 // trace index of the call action
+  int ret_pos = -1;                  // trace index of the return, -1 pending
+  // Preamble progress, copied from the InvocationRecord (see Section 3).
+  std::vector<std::pair<int, int>> line_passes;
+
+  [[nodiscard]] bool pending() const { return ret_pos < 0; }
+  [[nodiscard]] std::string describe() const;
+};
+
+class History {
+ public:
+  History() = default;
+  explicit History(std::vector<Operation> ops);
+
+  /// Builds the full history of a (finished or unfinished) World run.
+  static History from_world(const sim::World& w);
+
+  /// Restricts to one object — the paper's h|O_j projection (Theorem 3.1).
+  [[nodiscard]] History project_object(int object_id) const;
+
+  /// Restricts to call/return actions at trace positions < cut: operations
+  /// called before `cut`; returns after `cut` become pending. This is the
+  /// history of the execution prefix ending at `cut`.
+  [[nodiscard]] History prefix(int cut) const;
+
+  [[nodiscard]] const std::vector<Operation>& ops() const { return ops_; }
+  [[nodiscard]] int size() const { return static_cast<int>(ops_.size()); }
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+  [[nodiscard]] const Operation& op(int i) const;
+  /// Operation with invocation id `id`, or nullptr.
+  [[nodiscard]] const Operation* find(InvocationId id) const;
+
+  /// True iff ops_[a] precedes ops_[b] in real time (a returned before b was
+  /// called).
+  [[nodiscard]] bool precedes(int a, int b) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Operation> ops_;  // sorted by call_pos
+};
+
+}  // namespace blunt::lin

@@ -1,0 +1,128 @@
+#include "lin/spec.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace blunt::lin {
+
+namespace {
+
+class RegisterState final : public SpecState {
+ public:
+  explicit RegisterState(sim::Value v) : value_(std::move(v)) {}
+
+  [[nodiscard]] std::unique_ptr<SpecState> clone() const override {
+    return std::make_unique<RegisterState>(value_);
+  }
+
+  [[nodiscard]] sim::Value result_of(const Operation& op) const override {
+    if (op.method == "Read") return value_;
+    if (op.method == "Write") return sim::Value{};
+    BLUNT_UNREACHABLE("register spec: unknown method " << op.method);
+  }
+
+  void apply(const Operation& op) override {
+    if (op.method == "Write") value_ = op.argument;
+  }
+
+  [[nodiscard]] std::string encode() const override {
+    return "reg:" + sim::to_string(value_);
+  }
+
+ private:
+  sim::Value value_;
+};
+
+class QueueState final : public SpecState {
+ public:
+  QueueState() = default;
+  explicit QueueState(std::vector<std::int64_t> items)
+      : items_(std::move(items)) {}
+
+  [[nodiscard]] std::unique_ptr<SpecState> clone() const override {
+    return std::make_unique<QueueState>(items_);
+  }
+
+  [[nodiscard]] sim::Value result_of(const Operation& op) const override {
+    if (op.method == "Enq") return sim::Value{};
+    if (op.method == "Deq") {
+      // Dequeue of an empty queue is outside the deterministic spec; the
+      // workloads in this repo never produce it (the Deq retries instead).
+      if (items_.empty()) return sim::Value(std::string("<empty>"));
+      return sim::Value(items_.front());
+    }
+    BLUNT_UNREACHABLE("queue spec: unknown method " << op.method);
+  }
+
+  void apply(const Operation& op) override {
+    if (op.method == "Enq") {
+      items_.push_back(sim::as_int(op.argument));
+    } else if (op.method == "Deq" && !items_.empty()) {
+      items_.erase(items_.begin());
+    }
+  }
+
+  [[nodiscard]] std::string encode() const override {
+    std::ostringstream os;
+    os << "q:";
+    for (std::int64_t v : items_) os << v << ',';
+    return os.str();
+  }
+
+ private:
+  std::vector<std::int64_t> items_;
+};
+
+class SnapshotState final : public SpecState {
+ public:
+  SnapshotState(std::vector<std::int64_t> segs) : segs_(std::move(segs)) {}
+
+  [[nodiscard]] std::unique_ptr<SpecState> clone() const override {
+    return std::make_unique<SnapshotState>(segs_);
+  }
+
+  [[nodiscard]] sim::Value result_of(const Operation& op) const override {
+    if (op.method == "Scan") return segs_;
+    if (op.method == "Update") return sim::Value{};
+    BLUNT_UNREACHABLE("snapshot spec: unknown method " << op.method);
+  }
+
+  void apply(const Operation& op) override {
+    if (op.method == "Update") {
+      BLUNT_ASSERT(op.pid >= 0 &&
+                       op.pid < static_cast<int>(segs_.size()),
+                   "Update by pid " << op.pid << " outside snapshot of "
+                                    << segs_.size() << " segments");
+      segs_[static_cast<std::size_t>(op.pid)] = sim::as_int(op.argument);
+    }
+  }
+
+  [[nodiscard]] std::string encode() const override {
+    std::ostringstream os;
+    os << "snap:";
+    for (std::int64_t s : segs_) os << s << ',';
+    return os.str();
+  }
+
+ private:
+  std::vector<std::int64_t> segs_;
+};
+
+}  // namespace
+
+std::unique_ptr<SpecState> RegisterSpec::initial() const {
+  return std::make_unique<RegisterState>(initial_);
+}
+
+std::unique_ptr<SpecState> QueueSpec::initial() const {
+  return std::make_unique<QueueState>();
+}
+
+std::unique_ptr<SpecState> SnapshotSpec::initial() const {
+  BLUNT_ASSERT(segments_ > 0, "snapshot needs at least one segment");
+  return std::make_unique<SnapshotState>(std::vector<std::int64_t>(
+      static_cast<std::size_t>(segments_), initial_));
+}
+
+}  // namespace blunt::lin

@@ -1,0 +1,310 @@
+#include "lin/strong.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace blunt::lin {
+
+void PreambleMapping::set(std::string object_name, std::string method,
+                          int line) {
+  BLUNT_ASSERT(line >= 0, "preamble line must be >= 0");
+  lines_[{std::move(object_name), std::move(method)}] = line;
+}
+
+int PreambleMapping::line_for(const Operation& op) const {
+  const auto it = lines_.find({op.object_name, op.method});
+  return it == lines_.end() ? 0 : it->second;
+}
+
+bool PreambleMapping::op_complete(const Operation& op) const {
+  if (op.ret_pos >= 0) return true;  // returned => passed everything
+  const int line = line_for(op);
+  if (line == 0) return true;  // ℓ0 is passed at the call
+  for (const auto& [l, idx] : op.line_passes) {
+    if (l >= line) return true;
+  }
+  return false;
+}
+
+bool PreambleMapping::history_complete(const History& h) const {
+  return std::all_of(h.ops().begin(), h.ops().end(),
+                     [this](const Operation& op) { return op_complete(op); });
+}
+
+PrefixTree::PrefixTree(History root, std::string label) {
+  nodes_.push_back({std::move(root), {}, std::move(label), -1});
+}
+
+int PrefixTree::add(History h, int parent, std::string label) {
+  BLUNT_ASSERT(parent >= 0 && parent < size(), "bad parent " << parent);
+  const int id = size();
+  nodes_.push_back({std::move(h), {}, std::move(label), parent});
+  nodes_[static_cast<std::size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+const PrefixTree::Node& PrefixTree::node(int i) const {
+  BLUNT_ASSERT(i >= 0 && i < size(), "bad node " << i);
+  return nodes_[static_cast<std::size_t>(i)];
+}
+
+namespace {
+
+// Trace positions after which the history of a prefix changes: call, return,
+// and line-pass actions.
+std::vector<int> relevant_cuts(const History& full) {
+  std::set<int> cuts;
+  for (const Operation& op : full.ops()) {
+    cuts.insert(op.call_pos + 1);
+    if (op.ret_pos >= 0) cuts.insert(op.ret_pos + 1);
+    for (const auto& [l, idx] : op.line_passes) cuts.insert(idx + 1);
+  }
+  return {cuts.begin(), cuts.end()};
+}
+
+// Canonical encoding of a prefix history, used to merge identical prefixes
+// of different executions into one tree node.
+std::string encode_history(const History& h) {
+  std::ostringstream os;
+  for (const Operation& op : h.ops()) {
+    os << op.id << ':' << op.call_pos << ':' << op.ret_pos << ':'
+       << (op.result.has_value() ? sim::to_string(*op.result) : "?") << ':';
+    for (const auto& [l, idx] : op.line_passes) os << l << '@' << idx << ',';
+    os << ';';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+PrefixTree PrefixTree::chain_of(const History& full,
+                                const PreambleMapping& pi) {
+  PrefixTree tree{History{}, "empty"};
+  int parent = 0;
+  for (const int cut : relevant_cuts(full)) {
+    History h = full.prefix(cut);
+    if (!pi.history_complete(h)) continue;
+    parent = tree.add(std::move(h), parent, "cut " + std::to_string(cut));
+  }
+  return tree;
+}
+
+namespace {
+
+PrefixTree merge_impl(
+    const std::vector<PrefixTree::TracedExecution>& execs,
+    const PreambleMapping& pi) {
+  PrefixTree tree{History{}, "empty"};
+  // children_by_key[node] maps the child's merge key -> child node id.
+  std::vector<std::map<std::string, int>> children_by_key(1);
+  for (const PrefixTree::TracedExecution& exec : execs) {
+    BLUNT_ASSERT(exec.history != nullptr, "merge of a null history");
+    const History& full = *exec.history;
+    // Rolling hashes of the trace prefix, when a trace is supplied: node
+    // identity = history prefix AND literal execution prefix.
+    std::vector<std::size_t> trace_hash;
+    if (exec.trace != nullptr) {
+      trace_hash.reserve(exec.trace->entries().size() + 1);
+      trace_hash.push_back(0);
+      std::size_t h = 0;
+      for (const sim::TraceEntry& e : exec.trace->entries()) {
+        std::ostringstream os;
+        os << e;
+        h = hash_combine(h, std::hash<std::string>{}(os.str()));
+        trace_hash.push_back(h);
+      }
+    }
+    int parent = 0;
+    for (const int cut : relevant_cuts(full)) {
+      History h = full.prefix(cut);
+      if (!pi.history_complete(h)) continue;
+      std::string key = encode_history(h);
+      if (!trace_hash.empty()) {
+        const std::size_t idx =
+            std::min<std::size_t>(static_cast<std::size_t>(cut),
+                                  trace_hash.size() - 1);
+        key += '#' + std::to_string(trace_hash[idx]);
+      }
+      auto& kids = children_by_key[static_cast<std::size_t>(parent)];
+      const auto it = kids.find(key);
+      if (it != kids.end()) {
+        parent = it->second;
+        continue;
+      }
+      const int id =
+          tree.add(std::move(h), parent, "cut " + std::to_string(cut));
+      kids.emplace(std::move(key), id);
+      children_by_key.emplace_back();
+      parent = id;
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+PrefixTree PrefixTree::merge(const std::vector<History>& executions,
+                             const PreambleMapping& pi) {
+  std::vector<TracedExecution> execs;
+  execs.reserve(executions.size());
+  for (const History& h : executions) execs.push_back({&h, nullptr});
+  return merge_impl(execs, pi);
+}
+
+PrefixTree PrefixTree::merge_traced(const std::vector<TracedExecution>& execs,
+                                    const PreambleMapping& pi) {
+  for (const TracedExecution& e : execs) {
+    BLUNT_ASSERT(e.trace != nullptr, "merge_traced needs traces");
+  }
+  return merge_impl(execs, pi);
+}
+
+namespace {
+
+class TreeChecker {
+ public:
+  TreeChecker(const PrefixTree& tree, const SequentialSpec& spec)
+      : tree_(tree), spec_(spec) {}
+
+  StrongCheckResult run() {
+    Committed committed;
+    StrongCheckResult res;
+    res.ok = node_ok(0, committed, spec_.initial());
+    if (!res.ok) {
+      res.failing_node = deepest_failure_;
+      std::ostringstream os;
+      os << "no prefix-preserving linearization; deepest failing node "
+         << deepest_failure_;
+      if (deepest_failure_ >= 0) {
+        os << " (" << tree_.node(deepest_failure_).label << "):\n"
+           << tree_.node(deepest_failure_).h.to_string();
+      }
+      res.detail = os.str();
+    }
+    return res;
+  }
+
+ private:
+  struct Committed {
+    // f so far: linearized ops in order, with the result committed for each
+    // (the spec-forced result at linearization time).
+    std::vector<std::pair<InvocationId, sim::Value>> seq;
+    std::set<InvocationId> ids;
+
+    [[nodiscard]] std::string encode() const {
+      std::ostringstream os;
+      for (const auto& [id, v] : seq) os << id << '=' << sim::to_string(v)
+                                         << ';';
+      return os.str();
+    }
+  };
+
+  // Entering node `n` with its parent's linearization: validate committed
+  // results against newly-visible returns, then extend.
+  bool node_ok(int n, Committed committed,
+               std::unique_ptr<SpecState> state) {
+    const History& h = tree_.node(n).h;
+    for (const auto& [id, chosen] : committed.seq) {
+      const Operation* op = h.find(id);
+      BLUNT_ASSERT(op != nullptr,
+                   "committed op " << id << " missing from descendant node "
+                                   << n);
+      if (op->result.has_value() && !(chosen == *op->result)) {
+        note_failure(n);
+        return false;  // early-committed result contradicted by this branch
+      }
+    }
+    return extend(n, committed, state);
+  }
+
+  // Extends `committed` at node `n` until every returned op is linearized,
+  // then descends into all children.
+  bool extend(int n, Committed& committed, std::unique_ptr<SpecState>& state) {
+    const std::string key = std::to_string(n) + '#' + committed.encode() +
+                            '#' + state->encode();
+    if (failed_.contains(key)) return false;
+    const History& h = tree_.node(n).h;
+
+    bool required_pending = false;
+    for (const Operation& op : h.ops()) {
+      if (!op.pending() && !committed.ids.contains(op.id)) {
+        required_pending = true;
+        break;
+      }
+    }
+
+    if (!required_pending) {
+      bool all_children_ok = true;
+      for (const int child : tree_.node(n).children) {
+        if (!node_ok(child, committed, state->clone())) {
+          all_children_ok = false;
+          break;
+        }
+      }
+      if (all_children_ok) return true;
+    }
+
+    // Try appending a linearizable candidate (required ops first).
+    for (const bool want_required : {true, false}) {
+      for (const Operation& op : h.ops()) {
+        if (committed.ids.contains(op.id)) continue;
+        if ((op.pending() && want_required) ||
+            (!op.pending() && !want_required)) {
+          continue;
+        }
+        if (!minimal(h, op, committed)) continue;
+        const sim::Value forced = state->result_of(op);
+        if (op.result.has_value() && !(forced == *op.result)) continue;
+        std::unique_ptr<SpecState> saved = state->clone();
+        state->apply(op);
+        committed.seq.emplace_back(op.id, forced);
+        committed.ids.insert(op.id);
+        if (extend(n, committed, state)) return true;
+        committed.ids.erase(op.id);
+        committed.seq.pop_back();
+        state = std::move(saved);
+      }
+    }
+
+    failed_.insert(key);
+    note_failure(n);
+    return false;
+  }
+
+  // Can `op` be appended now? Every op of `h` that real-time-precedes it must
+  // already be committed.
+  static bool minimal(const History& h, const Operation& op,
+                      const Committed& committed) {
+    for (const Operation& q : h.ops()) {
+      if (q.id == op.id || committed.ids.contains(q.id)) continue;
+      if (q.ret_pos >= 0 && q.ret_pos < op.call_pos) return false;
+    }
+    return true;
+  }
+
+  void note_failure(int n) { deepest_failure_ = std::max(deepest_failure_, n); }
+
+  const PrefixTree& tree_;
+  const SequentialSpec& spec_;
+  std::unordered_set<std::string> failed_;
+  int deepest_failure_ = -1;
+};
+
+}  // namespace
+
+StrongCheckResult check_prefix_tree(const PrefixTree& tree,
+                                    const SequentialSpec& spec) {
+  return TreeChecker(tree, spec).run();
+}
+
+StrongCheckResult check_prefix_chain(const History& full,
+                                     const SequentialSpec& spec,
+                                     const PreambleMapping& pi) {
+  return check_prefix_tree(PrefixTree::chain_of(full, pi), spec);
+}
+
+}  // namespace blunt::lin

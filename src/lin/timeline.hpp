@@ -1,0 +1,27 @@
+// ASCII timeline rendering of histories: one row per process, one column
+// per call/return position, operations drawn as [====] spans. Makes
+// adversarial interleavings (e.g. the Figure 1 execution) readable at a
+// glance in test failures and examples.
+//
+//   p0 |  [== W(0) =============================]
+//   p1 |      [== W(1) ======]
+//   p2 |          [==== R:0 ========]  [= R:1 =]
+#pragma once
+
+#include <string>
+
+#include "lin/history.hpp"
+
+namespace blunt::lin {
+
+struct TimelineOptions {
+  int max_width = 100;   // target text width of the span area
+  bool show_values = true;
+};
+
+/// Renders `h` as a per-process timeline. Pending operations are drawn with
+/// an open right end ("[== ... >").
+[[nodiscard]] std::string render_timeline(const History& h,
+                                          const TimelineOptions& opts = {});
+
+}  // namespace blunt::lin

@@ -1,0 +1,75 @@
+// Atomic base registers: the shared-memory substrate.
+//
+// Section 2.1: shared-memory implementations communicate through base objects
+// "that execute instantaneously (in a single indivisible step)". A
+// BaseRegister access is exactly one scheduler step: the accessing coroutine
+// parks, and when the adversary schedules it, the access happens atomically.
+//
+// Writer/reader sets enforce the register class (SWSR / SWMR / MWMR): the
+// Afek et al. snapshot and Vitanyi–Awerbuch constructions use single-writer
+// registers, Israeli–Li uses single-reader registers — violations are bugs in
+// the object implementations, so they assert.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/task.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::mem {
+
+class BaseRegister {
+ public:
+  /// Empty writer/reader lists mean "any process".
+  BaseRegister(std::string name, sim::Value initial, std::vector<Pid> writers,
+               std::vector<Pid> readers);
+
+  /// Unrestricted MWMR register.
+  BaseRegister(std::string name, sim::Value initial)
+      : BaseRegister(std::move(name), std::move(initial), {}, {}) {}
+
+  /// One atomic read = one scheduler step. `inv` tags the step with the
+  /// owning invocation for the trace.
+  sim::Task<sim::Value> read(sim::Proc p, InvocationId inv = -1);
+
+  /// One atomic write = one scheduler step.
+  sim::Task<void> write(sim::Proc p, sim::Value v, InvocationId inv = -1);
+
+  /// Test/debug access; NOT a simulation step.
+  [[nodiscard]] const sim::Value& peek() const { return value_; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int reads() const { return reads_; }
+  [[nodiscard]] int writes() const { return writes_; }
+
+ private:
+  void check_access(Pid pid, const std::vector<Pid>& allowed,
+                    const char* verb) const;
+
+  std::string name_;
+  sim::Value value_;
+  std::vector<Pid> writers_;
+  std::vector<Pid> readers_;
+  int reads_ = 0;
+  int writes_ = 0;
+};
+
+/// A dense array of base registers sharing a name prefix (the snapshot's M[i],
+/// Israeli–Li's Val[i] / Report[i][j] flattened by the caller).
+class RegisterArray {
+ public:
+  RegisterArray(std::string prefix, int count, sim::Value initial,
+                std::vector<std::vector<Pid>> writers_per_cell = {},
+                std::vector<std::vector<Pid>> readers_per_cell = {});
+
+  [[nodiscard]] BaseRegister& at(int i);
+  [[nodiscard]] const BaseRegister& at(int i) const;
+  [[nodiscard]] int size() const { return static_cast<int>(cells_.size()); }
+
+ private:
+  std::vector<BaseRegister> cells_;
+};
+
+}  // namespace blunt::mem

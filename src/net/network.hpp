@@ -1,0 +1,145 @@
+// Asynchronous, unordered, reliable-until-crash message passing.
+//
+// One Network<M> instance models the channels of one protocol instance (e.g.
+// one ABD register). Messages go into an in-transit multiset; the World's
+// adversary chooses every delivery (and hence arbitrary reordering and
+// arbitrary delay — the asynchronous model of the paper's Section 2.1).
+// Delivering a message runs the recipient's handler synchronously within the
+// same scheduler step, matching Algorithm 3's atomic "when ... is received"
+// blocks; handlers may send further messages.
+//
+// Crash semantics: once a process crashes, messages addressed to it are
+// dropped (in transit and future), and its handler never runs again.
+// Messages it already sent remain in transit — a crashed sender's messages
+// may still be delivered, as in the standard crash-stop model.
+#pragma once
+
+#include <concepts>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "sim/delivery.hpp"
+#include "sim/trace.hpp"
+
+namespace blunt::net {
+
+template <typename M>
+concept MessageType = requires(const M& m) {
+  { m.summary() } -> std::convertible_to<std::string>;
+};
+
+template <MessageType M>
+class Network final : public sim::DeliverySource {
+ public:
+  /// Handler invoked on delivery: (recipient, sender, message).
+  using Handler = std::function<void(Pid, Pid, const M&)>;
+
+  /// `trace` may be null (no recording); normally the World's trace.
+  Network(std::string name, int num_processes, sim::Trace* trace)
+      : name_(std::move(name)), num_processes_(num_processes), trace_(trace) {
+    BLUNT_ASSERT(num_processes_ > 0, "Network with no processes");
+    handlers_.resize(static_cast<std::size_t>(num_processes_));
+  }
+
+  void set_handler(Pid pid, Handler h) {
+    check_pid(pid);
+    handlers_[static_cast<std::size_t>(pid)] = std::move(h);
+  }
+
+  /// Point-to-point send (self-sends allowed; ABD nodes message themselves).
+  void send(Pid from, Pid to, M msg) {
+    check_pid(from);
+    check_pid(to);
+    ++messages_sent_;
+    if (crashed_.contains(to)) return;  // dropped
+    const int id = next_id_++;
+    if (trace_ != nullptr) {
+      trace_->append({.pid = from,
+                      .kind = sim::StepKind::kSend,
+                      .what = name_ + "→p" + std::to_string(to) + " " +
+                              msg.summary(),
+                      .inv = -1,
+                      .value = {}});
+    }
+    in_transit_.emplace(id, Envelope{id, from, to, std::move(msg)});
+  }
+
+  /// Send to every process, including the sender (Algorithm 3's broadcast).
+  void broadcast(Pid from, const M& msg) {
+    for (Pid to = 0; to < num_processes_; ++to) send(from, to, msg);
+  }
+
+  // -- DeliverySource --
+
+  void enumerate(std::vector<sim::PendingDelivery>& out) const override {
+    for (const auto& [id, env] : in_transit_) {
+      out.push_back({id, env.to, name_ + " " + env.payload.summary() +
+                                  " from p" + std::to_string(env.from)});
+    }
+  }
+
+  void deliver(int msg_id) override {
+    auto it = in_transit_.find(msg_id);
+    BLUNT_ASSERT(it != in_transit_.end(), "deliver of unknown msg " << msg_id);
+    Envelope env = std::move(it->second);
+    in_transit_.erase(it);
+    BLUNT_ASSERT(!crashed_.contains(env.to),
+                 "deliver to crashed p" << env.to);
+    ++messages_delivered_;
+    const Handler& h = handlers_[static_cast<std::size_t>(env.to)];
+    BLUNT_ASSERT(h, "no handler registered for p" << env.to << " on "
+                                                  << name_);
+    h(env.to, env.from, env.payload);
+  }
+
+  void on_crash(Pid pid) override {
+    crashed_.insert(pid);
+    for (auto it = in_transit_.begin(); it != in_transit_.end();) {
+      if (it->second.to == pid) {
+        it = in_transit_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // -- Introspection --
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int in_transit_count() const {
+    return static_cast<int>(in_transit_.size());
+  }
+  [[nodiscard]] int messages_sent() const { return messages_sent_; }
+  [[nodiscard]] int messages_delivered() const { return messages_delivered_; }
+
+ private:
+  struct Envelope {
+    int id;
+    Pid from;
+    Pid to;
+    M payload;
+  };
+
+  void check_pid(Pid pid) const {
+    BLUNT_ASSERT(pid >= 0 && pid < num_processes_,
+                 "bad pid " << pid << " on network " << name_);
+  }
+
+  std::string name_;
+  int num_processes_;
+  sim::Trace* trace_;
+  std::vector<Handler> handlers_;
+  std::map<int, Envelope> in_transit_;  // keyed by id => canonical order
+  std::set<Pid> crashed_;
+  int next_id_ = 0;
+  int messages_sent_ = 0;
+  int messages_delivered_ = 0;
+};
+
+}  // namespace blunt::net

@@ -1,0 +1,184 @@
+#include "objects/abd.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace blunt::objects {
+
+std::string AbdMessage::summary() const {
+  std::ostringstream os;
+  switch (type) {
+    case Type::kQuery:
+      os << "query sn=" << sn;
+      break;
+    case Type::kReply:
+      os << "reply sn=" << sn << " val=" << sim::to_string(val) << " ts="
+         << ts;
+      break;
+    case Type::kUpdate:
+      os << "update sn=" << sn << " val=" << sim::to_string(val) << " ts="
+         << ts;
+      break;
+    case Type::kAck:
+      os << "ack sn=" << sn;
+      break;
+  }
+  return os.str();
+}
+
+AbdRegister::AbdRegister(std::string name, sim::World& w, Options opts)
+    : name_(std::move(name)),
+      world_(w),
+      opts_(opts),
+      object_id_(w.register_object(name_)),
+      quorum_(opts.num_processes / 2 + 1),
+      net_(name_, opts.num_processes, &w.trace_mutable()),
+      servers_(static_cast<std::size_t>(opts.num_processes)),
+      clients_(static_cast<std::size_t>(opts.num_processes)) {
+  BLUNT_ASSERT(opts_.num_processes >= 1, "ABD needs processes");
+  BLUNT_ASSERT(opts_.preamble_iterations >= 1, "k must be >= 1");
+  for (auto& s : servers_) s.val = opts_.initial;
+  for (Pid pid = 0; pid < opts_.num_processes; ++pid) {
+    net_.set_handler(pid, [this](Pid to, Pid from, const AbdMessage& m) {
+      handle(to, from, m);
+    });
+  }
+  w.attach(net_);
+}
+
+lin::PreambleMapping AbdRegister::preamble_mapping() const {
+  lin::PreambleMapping pi;
+  pi.set(name_, "Read", kReadPreambleLine);
+  if (opts_.variant == AbdVariant::kMultiWriter) {
+    pi.set(name_, "Write", kWritePreambleLine);
+  }
+  return pi;
+}
+
+std::pair<sim::Value, Timestamp> AbdRegister::replica(Pid pid) const {
+  BLUNT_ASSERT(pid >= 0 && pid < opts_.num_processes, "bad pid " << pid);
+  const Server& s = servers_[static_cast<std::size_t>(pid)];
+  return {s.val, s.ts};
+}
+
+void AbdRegister::handle(Pid to, Pid from, const AbdMessage& m) {
+  Server& srv = servers_[static_cast<std::size_t>(to)];
+  Client& cli = clients_[static_cast<std::size_t>(to)];
+  switch (m.type) {
+    case AbdMessage::Type::kQuery:
+      // Lines 11–12: answer with the replica's current value and timestamp.
+      net_.send(to, from,
+                {AbdMessage::Type::kReply, m.sn, srv.val, srv.ts});
+      break;
+    case AbdMessage::Type::kReply:
+      cli.replies[m.sn].emplace_back(m.val, m.ts);
+      break;
+    case AbdMessage::Type::kUpdate:
+      // Lines 18–20: adopt if newer, always ack.
+      if (m.ts > srv.ts) {
+        srv.val = m.val;
+        srv.ts = m.ts;
+      }
+      net_.send(to, from, {AbdMessage::Type::kAck, m.sn});
+      break;
+    case AbdMessage::Type::kAck:
+      ++cli.acks[m.sn];
+      break;
+  }
+}
+
+sim::Task<std::pair<sim::Value, Timestamp>> AbdRegister::query_phase(
+    sim::Proc p, InvocationId inv) {
+  Client& cli = clients_[static_cast<std::size_t>(p.pid())];
+  const int sn = cli.next_sn++;
+  ++query_phases_run_;
+  co_await p.yield(sim::StepKind::kSend, name_ + ".query-bcast", inv);
+  net_.broadcast(p.pid(), {AbdMessage::Type::kQuery, sn});
+  const Pid pid = p.pid();
+  co_await p.wait_until(
+      [this, pid, sn] {
+        const Client& c = clients_[static_cast<std::size_t>(pid)];
+        const auto it = c.replies.find(sn);
+        return it != c.replies.end() &&
+               static_cast<int>(it->second.size()) >= quorum_;
+      },
+      name_ + ".query-quorum", inv);
+  // Line 9: pair in reply with the largest timestamp, over the replies
+  // received by the time this step is scheduled.
+  const auto& replies = cli.replies[sn];
+  std::pair<sim::Value, Timestamp> best = replies.front();
+  for (const auto& r : replies) {
+    if (r.second > best.second) best = r;
+  }
+  co_return best;
+}
+
+sim::Task<void> AbdRegister::update_phase(sim::Proc p, InvocationId inv,
+                                          sim::Value v, Timestamp u) {
+  Client& cli = clients_[static_cast<std::size_t>(p.pid())];
+  const int sn = cli.next_sn++;
+  co_await p.yield(sim::StepKind::kSend, name_ + ".update-bcast", inv);
+  net_.broadcast(p.pid(), {AbdMessage::Type::kUpdate, sn, std::move(v), u});
+  const Pid pid = p.pid();
+  co_await p.wait_until(
+      [this, pid, sn] {
+        const Client& c = clients_[static_cast<std::size_t>(pid)];
+        const auto it = c.acks.find(sn);
+        return it != c.acks.end() && it->second >= quorum_;
+      },
+      name_ + ".update-quorum", inv);
+}
+
+sim::Task<sim::Value> AbdRegister::read(sim::Proc p) {
+  const InvocationId inv =
+      world_.begin_invocation(p.pid(), object_id_, "Read", {});
+  const int k = opts_.preamble_iterations;
+  std::vector<std::pair<sim::Value, Timestamp>> results;
+  results.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    results.push_back(co_await query_phase(p, inv));
+  }
+  // Algorithm 4: j := random([1..k]); original ABD (k = 1) stays
+  // deterministic.
+  int j = 0;
+  if (k > 1) j = co_await p.random(k, name_ + ".choose-iteration", inv);
+  auto [v, u] = results[static_cast<std::size_t>(j)];
+  world_.mark_line(inv, kReadPreambleLine);
+  co_await update_phase(p, inv, v, u);  // line 23: write-back
+  world_.end_invocation(inv, v);
+  co_return v;
+}
+
+sim::Task<void> AbdRegister::write(sim::Proc p, sim::Value v) {
+  const InvocationId inv =
+      world_.begin_invocation(p.pid(), object_id_, "Write", v);
+  if (opts_.variant == AbdVariant::kSingleWriter) {
+    BLUNT_ASSERT(p.pid() == opts_.single_writer,
+                 "p" << p.pid() << " wrote single-writer register " << name_);
+    // Original ABD [3]: no query phase; stamp from the local counter. The
+    // Write preamble is empty (trivially effect-free), so there is nothing
+    // to iterate.
+    const Timestamp u{++writer_seq_, p.pid()};
+    world_.mark_line(inv, kWritePreambleLine);
+    co_await update_phase(p, inv, std::move(v), u);
+    world_.end_invocation(inv, {});
+    co_return;
+  }
+  const int k = opts_.preamble_iterations;
+  std::vector<Timestamp> stamps;
+  stamps.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    // Line 26: only the integer part of the timestamp is needed.
+    stamps.push_back((co_await query_phase(p, inv)).second);
+  }
+  int j = 0;
+  if (k > 1) j = co_await p.random(k, name_ + ".choose-iteration", inv);
+  const std::int64_t t = stamps[static_cast<std::size_t>(j)].number;
+  world_.mark_line(inv, kWritePreambleLine);
+  // Line 27: new timestamp (t + 1, i).
+  co_await update_phase(p, inv, std::move(v), Timestamp{t + 1, p.pid()});
+  world_.end_invocation(inv, {});
+}
+
+}  // namespace blunt::objects

@@ -1,0 +1,125 @@
+// The ABD register (Algorithm 3) and its preamble-iterated version ABD^k
+// (Algorithm 4).
+//
+// One AbdRegister instance simulates one shared register replicated across n
+// crash-prone processes communicating by asynchronous messages. Every process
+// is both a client (it may invoke Read/Write) and a server (it stores a
+// (val, ts) replica and answers query/update messages in atomic "when
+// received" handlers).
+//
+//   Read():  (v,u) := queryPhase();          // preamble — line 22 = Π(Read)
+//            updatePhase(v,u); return v      // write-back
+//   Write(v): (-,(t,-)) := queryPhase();     // preamble — line 26 = Π(Write)
+//            updatePhase(v,(t+1,i)); return
+//
+// With k >= 2 preamble iterations, each operation runs the query phase k
+// times and picks one result uniformly at random (an *object random step*,
+// Section 4.3) — Algorithm 4 verbatim. k = 1 is the original, deterministic
+// ABD.
+//
+// The preamble is effect-free (Section 4.1): a query phase sends query
+// messages and collects replies; answering a query does not change the
+// responder's (val, ts), so iterating it perturbs nothing.
+//
+// Variants: the multi-writer Lynch–Shvartsman version above (default), and
+// the original single-writer ABD [3] in which the unique writer skips the
+// query phase and stamps writes from a local counter (its Write preamble is
+// empty, so only Read is iterated).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "lin/strong.hpp"
+#include "net/network.hpp"
+#include "objects/register_object.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::objects {
+
+struct AbdMessage {
+  enum class Type { kQuery, kReply, kUpdate, kAck };
+
+  Type type = Type::kQuery;
+  int sn = 0;  // client sequence number identifying the phase
+  sim::Value val;
+  Timestamp ts{0, 0};
+
+  [[nodiscard]] std::string summary() const;
+};
+
+enum class AbdVariant {
+  kMultiWriter,   // Lynch–Shvartsman [20]: both Read and Write query first
+  kSingleWriter,  // original ABD [3]: the sole writer stamps locally
+};
+
+class AbdRegister final : public RegisterObject {
+ public:
+  struct Options {
+    int num_processes = 3;
+    sim::Value initial;            // v0, defaults to ⊥
+    int preamble_iterations = 1;   // k; >= 2 gives ABD^k
+    AbdVariant variant = AbdVariant::kMultiWriter;
+    Pid single_writer = 0;         // only for kSingleWriter
+  };
+
+  // Control points of Algorithm 3 used as preamble ends (Section 5.1).
+  static constexpr int kReadPreambleLine = 22;
+  static constexpr int kWritePreambleLine = 26;
+
+  AbdRegister(std::string name, sim::World& w, Options opts);
+
+  sim::Task<sim::Value> read(sim::Proc p) override;
+  sim::Task<void> write(sim::Proc p, sim::Value v) override;
+
+  [[nodiscard]] int object_id() const override { return object_id_; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  /// Π_ABD: Read -> line 22, Write -> line 26 (trivial Write preamble for the
+  /// single-writer variant).
+  [[nodiscard]] lin::PreambleMapping preamble_mapping() const;
+
+  [[nodiscard]] int quorum() const { return quorum_; }
+  [[nodiscard]] int messages_sent() const { return net_.messages_sent(); }
+  [[nodiscard]] int query_phases_run() const { return query_phases_run_; }
+
+  /// The replica state of process `pid` (tests/debug only).
+  [[nodiscard]] std::pair<sim::Value, Timestamp> replica(Pid pid) const;
+
+ private:
+  struct Server {
+    sim::Value val;
+    Timestamp ts{0, 0};
+  };
+  struct Client {
+    int next_sn = 0;
+    std::map<int, std::vector<std::pair<sim::Value, Timestamp>>> replies;
+    std::map<int, int> acks;
+  };
+
+  /// Lines 5–10: broadcast query, await a quorum of replies, return the
+  /// (value, timestamp) pair with the largest timestamp.
+  sim::Task<std::pair<sim::Value, Timestamp>> query_phase(sim::Proc p,
+                                                          InvocationId inv);
+  /// Lines 13–16: broadcast update(v, u), await a quorum of acks.
+  sim::Task<void> update_phase(sim::Proc p, InvocationId inv, sim::Value v,
+                               Timestamp u);
+  /// The "when received" handlers (lines 11–12 and 18–20).
+  void handle(Pid to, Pid from, const AbdMessage& m);
+
+  std::string name_;
+  sim::World& world_;
+  Options opts_;
+  int object_id_;
+  int quorum_;
+  net::Network<AbdMessage> net_;
+  std::vector<Server> servers_;
+  std::vector<Client> clients_;
+  std::int64_t writer_seq_ = 0;  // single-writer variant's local stamp
+  int query_phases_run_ = 0;
+};
+
+}  // namespace blunt::objects

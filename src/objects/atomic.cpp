@@ -1,0 +1,61 @@
+#include "objects/atomic.hpp"
+
+#include "common/assert.hpp"
+
+namespace blunt::objects {
+
+AtomicRegister::AtomicRegister(std::string name, sim::World& w,
+                               sim::Value initial)
+    : name_(std::move(name)),
+      world_(w),
+      object_id_(w.register_object(name_)),
+      value_(std::move(initial)) {}
+
+sim::Task<sim::Value> AtomicRegister::read(sim::Proc p) {
+  // One scheduler step covers call, read, and return: atomicity.
+  co_await p.yield(sim::StepKind::kCall, name_ + ".Read");
+  const InvocationId inv =
+      world_.begin_invocation(p.pid(), object_id_, "Read", {});
+  sim::Value v = value_;
+  world_.end_invocation(inv, v);
+  co_return v;
+}
+
+sim::Task<void> AtomicRegister::write(sim::Proc p, sim::Value v) {
+  co_await p.yield(sim::StepKind::kCall, name_ + ".Write");
+  const InvocationId inv =
+      world_.begin_invocation(p.pid(), object_id_, "Write", v);
+  value_ = std::move(v);
+  world_.end_invocation(inv, {});
+}
+
+AtomicSnapshot::AtomicSnapshot(std::string name, sim::World& w, int segments,
+                               std::int64_t initial)
+    : name_(std::move(name)),
+      world_(w),
+      object_id_(w.register_object(name_)),
+      segments_(static_cast<std::size_t>(segments), initial) {
+  BLUNT_ASSERT(segments > 0, "snapshot needs segments");
+}
+
+sim::Task<std::vector<std::int64_t>> AtomicSnapshot::scan(sim::Proc p) {
+  co_await p.yield(sim::StepKind::kCall, name_ + ".Scan");
+  const InvocationId inv =
+      world_.begin_invocation(p.pid(), object_id_, "Scan", {});
+  std::vector<std::int64_t> view = segments_;
+  world_.end_invocation(inv, view);
+  co_return view;
+}
+
+sim::Task<void> AtomicSnapshot::update(sim::Proc p, std::int64_t v) {
+  co_await p.yield(sim::StepKind::kCall, name_ + ".Update");
+  const InvocationId inv = world_.begin_invocation(
+      p.pid(), object_id_, "Update", sim::Value(v));
+  BLUNT_ASSERT(p.pid() >= 0 &&
+                   p.pid() < static_cast<int>(segments_.size()),
+               "Update by non-segment process p" << p.pid());
+  segments_[static_cast<std::size_t>(p.pid())] = v;
+  world_.end_invocation(inv, {});
+}
+
+}  // namespace blunt::objects

@@ -1,0 +1,57 @@
+// Atomic objects — the paper's O_a baseline (Section 2.1: "an object where
+// every invocation returns immediately").
+//
+// Call, effect, and return all happen within one scheduler step, so in the
+// recorded history every call action is immediately followed by its return
+// action, and the adversary has no internal steps to interleave. These are
+// trivially strongly linearizable, which is why Prob[P(O_a) → B] lower-bounds
+// every implementation (Proposition 2.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "objects/register_object.hpp"
+#include "sim/value.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::objects {
+
+class AtomicRegister final : public RegisterObject {
+ public:
+  AtomicRegister(std::string name, sim::World& w, sim::Value initial);
+
+  sim::Task<sim::Value> read(sim::Proc p) override;
+  sim::Task<void> write(sim::Proc p, sim::Value v) override;
+
+  [[nodiscard]] int object_id() const override { return object_id_; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  [[nodiscard]] const sim::Value& peek() const { return value_; }
+
+ private:
+  std::string name_;
+  sim::World& world_;
+  int object_id_;
+  sim::Value value_;
+};
+
+class AtomicSnapshot final : public SnapshotObject {
+ public:
+  AtomicSnapshot(std::string name, sim::World& w, int segments,
+                 std::int64_t initial = 0);
+
+  sim::Task<std::vector<std::int64_t>> scan(sim::Proc p) override;
+  sim::Task<void> update(sim::Proc p, std::int64_t v) override;
+
+  [[nodiscard]] int object_id() const override { return object_id_; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  sim::World& world_;
+  int object_id_;
+  std::vector<std::int64_t> segments_;
+};
+
+}  // namespace blunt::objects

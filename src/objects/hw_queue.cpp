@@ -1,0 +1,87 @@
+#include "objects/hw_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace blunt::objects {
+
+std::string HwQueue::Slot::summary() const {
+  switch (state) {
+    case SlotState::kEmpty: return "empty";
+    case SlotState::kFull: return "full(" + std::to_string(value) + ")";
+    case SlotState::kTombstone: return "tombstone";
+  }
+  return "?";
+}
+
+HwQueue::HwQueue(std::string name, sim::World& w, Options opts)
+    : name_(std::move(name)),
+      world_(w),
+      opts_(opts),
+      object_id_(w.register_object(name_)),
+      tail_(name_ + ".tail") {
+  BLUNT_ASSERT(opts_.capacity >= 1, "queue needs capacity");
+  BLUNT_ASSERT(opts_.preamble_iterations >= 1, "k must be >= 1");
+  slots_.reserve(static_cast<std::size_t>(opts_.capacity));
+  for (int i = 0; i < opts_.capacity; ++i) {
+    slots_.emplace_back(name_ + ".items[" + std::to_string(i) + "]", Slot{});
+  }
+}
+
+sim::Task<void> HwQueue::enqueue(sim::Proc p, std::int64_t v) {
+  const InvocationId inv =
+      world_.begin_invocation(p.pid(), object_id_, "Enq", sim::Value(v));
+  const int k = opts_.preamble_iterations;
+  // Reserve k slots. The reservation is effectFUL: holes are visible to
+  // concurrent dequeuers. That is fine — dequeuers skip non-full slots —
+  // and the unused reservations are rolled back below.
+  std::vector<std::int64_t> reserved;
+  reserved.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const std::int64_t idx = co_await tail_.fetch_add(p, 1, inv);
+    BLUNT_ASSERT(idx < opts_.capacity,
+                 "queue " << name_ << " overflow at slot " << idx);
+    reserved.push_back(idx);
+  }
+  int j = 0;
+  if (k > 1) j = co_await p.random(k, name_ + ".choose-slot", inv);
+  world_.mark_line(inv, 50);
+  // Roll back the k-1 unused reservations...
+  for (int i = 0; i < k; ++i) {
+    if (i == j) continue;
+    co_await slots_[static_cast<std::size_t>(reserved[static_cast<std::size_t>(i)])]
+        .write(p, Slot{SlotState::kTombstone, 0}, inv);
+    ++tombstones_;
+  }
+  // ...and install the value in the chosen one.
+  co_await slots_[static_cast<std::size_t>(reserved[static_cast<std::size_t>(j)])]
+      .write(p, Slot{SlotState::kFull, v}, inv);
+  world_.end_invocation(inv, {});
+}
+
+sim::Task<std::int64_t> HwQueue::dequeue(sim::Proc p) {
+  const InvocationId inv =
+      world_.begin_invocation(p.pid(), object_id_, "Deq", {});
+  for (;;) {
+    const std::int64_t range = co_await tail_.read(p, inv);
+    for (std::int64_t i = 0; i < range; ++i) {
+      // Swap the slot empty; if it held a value, that value is ours.
+      Slot old = co_await slots_[static_cast<std::size_t>(i)].swap(
+          p, Slot{SlotState::kEmpty, 0}, inv);
+      if (old.state == SlotState::kFull) {
+        world_.end_invocation(inv, sim::Value(old.value));
+        co_return old.value;
+      }
+      if (old.state == SlotState::kTombstone) {
+        // Keep the tombstone in place (we swapped it out; restore) so the
+        // accounting stays truthful; an empty cell is equivalent
+        // semantically, but restoring preserves the rollback marker for
+        // debugging.
+        co_await slots_[static_cast<std::size_t>(i)].write(
+            p, Slot{SlotState::kTombstone, 0}, inv);
+      }
+    }
+    // Nothing found: rescan (Herlihy–Wing dequeues are not wait-free).
+  }
+}
+
+}  // namespace blunt::objects

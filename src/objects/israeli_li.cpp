@@ -1,0 +1,106 @@
+#include "objects/israeli_li.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "core/transform.hpp"
+
+namespace blunt::objects {
+
+std::string IsraeliLiRegister::Cell::summary() const {
+  std::ostringstream os;
+  os << "(v=" << sim::to_string(value) << ",seq=" << seq << ')';
+  return os.str();
+}
+
+IsraeliLiRegister::IsraeliLiRegister(std::string name, sim::World& w,
+                                     Options opts)
+    : name_(std::move(name)),
+      world_(w),
+      opts_(opts),
+      object_id_(w.register_object(name_)) {
+  BLUNT_ASSERT(opts_.num_readers >= 1, "IL register needs readers");
+  BLUNT_ASSERT(opts_.writer >= opts_.num_readers,
+               "the writer must not be a reader (got writer p"
+                   << opts_.writer << " with " << opts_.num_readers
+                   << " readers)");
+  BLUNT_ASSERT(opts_.preamble_iterations >= 1, "k must be >= 1");
+  const int m = opts_.num_readers;
+  Cell init;
+  init.value = opts_.initial;
+  vals_.reserve(static_cast<std::size_t>(m));
+  for (Pid i = 0; i < m; ++i) {
+    // Val[i]: written by the writer, read by reader i only (SWSR).
+    vals_.emplace_back(name_ + ".Val[" + std::to_string(i) + "]", init,
+                       std::vector<Pid>{opts_.writer}, std::vector<Pid>{i});
+  }
+  reports_.reserve(static_cast<std::size_t>(m) * static_cast<std::size_t>(m));
+  for (Pid i = 0; i < m; ++i) {
+    for (Pid j = 0; j < m; ++j) {
+      // Report[i][j]: written by reader i, read by reader j (SWSR).
+      reports_.emplace_back(name_ + ".Report[" + std::to_string(i) + "][" +
+                                std::to_string(j) + "]",
+                            init, std::vector<Pid>{i}, std::vector<Pid>{j});
+    }
+  }
+}
+
+mem::TypedRegister<IsraeliLiRegister::Cell>& IsraeliLiRegister::report(
+    int row, int col) {
+  const int m = opts_.num_readers;
+  BLUNT_ASSERT(row >= 0 && row < m && col >= 0 && col < m,
+               "bad Report index (" << row << ',' << col << ')');
+  return reports_[static_cast<std::size_t>(row * m + col)];
+}
+
+lin::PreambleMapping IsraeliLiRegister::preamble_mapping() const {
+  lin::PreambleMapping pi;
+  pi.set(name_, "Read", kReadPreambleLine);
+  // Write's preamble is empty: ℓ0, the default.
+  return pi;
+}
+
+sim::Task<IsraeliLiRegister::Cell> IsraeliLiRegister::collect_best(
+    sim::Proc p, InvocationId inv) {
+  const Pid i = p.pid();
+  Cell best = co_await vals_[static_cast<std::size_t>(i)].read(p, inv);
+  for (Pid j = 0; j < opts_.num_readers; ++j) {
+    Cell c = co_await report(j, i).read(p, inv);
+    if (c.seq > best.seq) best = std::move(c);
+  }
+  co_return best;
+}
+
+sim::Task<sim::Value> IsraeliLiRegister::read(sim::Proc p) {
+  BLUNT_ASSERT(p.pid() >= 0 && p.pid() < opts_.num_readers,
+               "Read by non-reader p" << p.pid() << " on " << name_);
+  const InvocationId inv =
+      world_.begin_invocation(p.pid(), object_id_, "Read", {});
+  Cell best = co_await core::iterate_preamble<Cell>(
+      p, inv, opts_.preamble_iterations,
+      [this, p, inv]() { return collect_best(p, inv); },
+      name_ + ".choose-iteration");
+  world_.mark_line(inv, kReadPreambleLine);
+  // Propagate the chosen pair to the other readers, then return.
+  for (Pid j = 0; j < opts_.num_readers; ++j) {
+    co_await report(p.pid(), j).write(p, best, inv);
+  }
+  world_.end_invocation(inv, best.value);
+  co_return best.value;
+}
+
+sim::Task<void> IsraeliLiRegister::write(sim::Proc p, sim::Value v) {
+  BLUNT_ASSERT(p.pid() == opts_.writer,
+               "Write by p" << p.pid() << " on single-writer " << name_);
+  const InvocationId inv =
+      world_.begin_invocation(p.pid(), object_id_, "Write", v);
+  Cell next;
+  next.value = std::move(v);
+  next.seq = ++writer_seq_;
+  for (Pid i = 0; i < opts_.num_readers; ++i) {
+    co_await vals_[static_cast<std::size_t>(i)].write(p, next, inv);
+  }
+  world_.end_invocation(inv, {});
+}
+
+}  // namespace blunt::objects

@@ -1,0 +1,80 @@
+// The Israeli–Li single-writer multi-reader register from single-writer
+// single-reader registers [19] (Section 5.4), plus its preamble-iterated
+// version.
+//
+// The unique writer owns a SWSR register Val[i] per reader i; readers gossip
+// through a matrix Report[i][j] of SWSR registers (reader i writes row i,
+// reader j reads column j).
+//
+//   Write(v):  seq := seq + 1; for each reader i: Val[i] := (v, seq).
+//   Read at i: read Val[i] and Report[j][i] for all j; pick the pair with
+//              the largest sequence number; write it to Report[i][j] for all
+//              j; return its value.
+//
+// Tail strong linearizability (Section 5.4): the Read preamble ends just
+// before the first Report write (the candidate collection is read-only,
+// hence effect-free); the Write preamble is empty (ℓ0) — so the
+// transformation iterates only Read's collection phase.
+//
+// Convention: readers are processes 0..num_readers−1; the writer is a
+// distinct process id given in Options.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "lin/strong.hpp"
+#include "mem/typed_register.hpp"
+#include "objects/register_object.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::objects {
+
+class IsraeliLiRegister final : public RegisterObject {
+ public:
+  struct Options {
+    int num_readers = 2;
+    Pid writer = 2;         // must not be a reader id
+    sim::Value initial;     // defaults to ⊥
+    int preamble_iterations = 1;  // k
+  };
+
+  static constexpr int kReadPreambleLine = 30;  // before first Report write
+
+  IsraeliLiRegister(std::string name, sim::World& w, Options opts);
+
+  /// Read: caller must be a reader (pid < num_readers).
+  sim::Task<sim::Value> read(sim::Proc p) override;
+  /// Write: caller must be the writer.
+  sim::Task<void> write(sim::Proc p, sim::Value v) override;
+
+  [[nodiscard]] int object_id() const override { return object_id_; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  [[nodiscard]] lin::PreambleMapping preamble_mapping() const;
+
+ private:
+  struct Cell {
+    sim::Value value;
+    std::int64_t seq = 0;
+
+    [[nodiscard]] std::string summary() const;
+  };
+
+  /// Reader i's effect-free collection: Val[i] plus column i of Report;
+  /// returns the cell with the largest sequence number.
+  sim::Task<Cell> collect_best(sim::Proc p, InvocationId inv);
+
+  [[nodiscard]] mem::TypedRegister<Cell>& report(int row, int col);
+
+  std::string name_;
+  sim::World& world_;
+  Options opts_;
+  int object_id_;
+  std::vector<mem::TypedRegister<Cell>> vals_;     // per reader
+  std::vector<mem::TypedRegister<Cell>> reports_;  // row-major m×m
+  std::int64_t writer_seq_ = 0;
+};
+
+}  // namespace blunt::objects

@@ -1,0 +1,44 @@
+// The read/write register interface every register implementation in this
+// library exposes: atomic (the paper's O_a), ABD / ABD^k, Vitanyi–Awerbuch,
+// Israeli–Li. Programs (src/programs) are written against this interface so
+// the same program runs unchanged over any implementation — the object
+// substitution of Section 2.3 (Proposition 2.1).
+#pragma once
+
+#include "common/types.hpp"
+#include "lin/strong.hpp"
+#include "sim/task.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::objects {
+
+class RegisterObject {
+ public:
+  virtual ~RegisterObject() = default;
+
+  /// Invoke Read at process p; records call/return in the World's history.
+  virtual sim::Task<sim::Value> read(sim::Proc p) = 0;
+
+  /// Invoke Write(v) at process p.
+  virtual sim::Task<void> write(sim::Proc p, sim::Value v) = 0;
+
+  /// World-assigned object id (for history projection).
+  [[nodiscard]] virtual int object_id() const = 0;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+};
+
+/// The snapshot interface (Section 5.2): Update writes the caller's segment,
+/// Scan returns all segments.
+class SnapshotObject {
+ public:
+  virtual ~SnapshotObject() = default;
+
+  virtual sim::Task<std::vector<std::int64_t>> scan(sim::Proc p) = 0;
+  virtual sim::Task<void> update(sim::Proc p, std::int64_t v) = 0;
+
+  [[nodiscard]] virtual int object_id() const = 0;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+};
+
+}  // namespace blunt::objects

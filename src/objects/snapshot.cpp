@@ -1,0 +1,127 @@
+#include "objects/snapshot.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "core/transform.hpp"
+
+namespace blunt::objects {
+
+std::string AfekSnapshot::Cell::summary() const {
+  std::ostringstream os;
+  os << "(v=" << value << ",seq=" << seq << ')';
+  return os.str();
+}
+
+AfekSnapshot::AfekSnapshot(std::string name, sim::World& w, Options opts)
+    : name_(std::move(name)),
+      world_(w),
+      opts_(opts),
+      object_id_(w.register_object(name_)) {
+  BLUNT_ASSERT(opts_.num_processes >= 1, "snapshot needs processes");
+  BLUNT_ASSERT(opts_.preamble_iterations >= 1, "k must be >= 1");
+  cells_.reserve(static_cast<std::size_t>(opts_.num_processes));
+  for (Pid i = 0; i < opts_.num_processes; ++i) {
+    Cell init;
+    init.value = opts_.initial;
+    init.view.assign(static_cast<std::size_t>(opts_.num_processes),
+                     opts_.initial);
+    // M[i] is single-writer: only process i writes it; anyone reads.
+    cells_.emplace_back(name_ + ".M[" + std::to_string(i) + "]", init,
+                        std::vector<Pid>{i}, std::vector<Pid>{});
+  }
+}
+
+lin::PreambleMapping AfekSnapshot::preamble_mapping() const {
+  lin::PreambleMapping pi;
+  pi.set(name_, "Scan", kScanPreambleLine);
+  if (opts_.iterate_update_scan) pi.set(name_, "Update", kUpdateScanLine);
+  return pi;
+}
+
+sim::Task<std::vector<AfekSnapshot::Cell>> AfekSnapshot::collect(
+    sim::Proc p, InvocationId inv) {
+  ++collects_run_;
+  std::vector<Cell> out;
+  out.reserve(cells_.size());
+  for (auto& cell : cells_) {
+    out.push_back(co_await cell.read(p, inv));
+  }
+  co_return out;
+}
+
+sim::Task<std::vector<std::int64_t>> AfekSnapshot::scan_loop(
+    sim::Proc p, InvocationId inv) {
+  const int n = opts_.num_processes;
+  std::vector<int> moved(static_cast<std::size_t>(n), 0);
+  std::vector<Cell> first = co_await collect(p, inv);
+  for (;;) {
+    std::vector<Cell> second = co_await collect(p, inv);
+    bool identical = true;
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      if (second[ui].seq != first[ui].seq) {
+        identical = false;
+        // Process i moved between the two collects.
+        if (++moved[ui] >= 2) {
+          // i completed an entire Update inside this Scan's interval: its
+          // embedded view was taken inside the interval and is valid.
+          co_return second[ui].view;
+        }
+      }
+    }
+    if (identical) {
+      // Clean double collect: the common value is a snapshot.
+      std::vector<std::int64_t> view;
+      view.reserve(static_cast<std::size_t>(n));
+      for (const Cell& cell : second) view.push_back(cell.value);
+      co_return view;
+    }
+    first = std::move(second);
+  }
+}
+
+sim::Task<std::vector<std::int64_t>> AfekSnapshot::scan(sim::Proc p) {
+  const InvocationId inv =
+      world_.begin_invocation(p.pid(), object_id_, "Scan", {});
+  // The whole scan loop is Scan's effect-free preamble: Algorithm 2 iterates
+  // it k times and keeps one result at random.
+  std::vector<std::int64_t> view =
+      co_await core::iterate_preamble<std::vector<std::int64_t>>(
+          p, inv, opts_.preamble_iterations,
+          [this, p, inv]() { return scan_loop(p, inv); },
+          name_ + ".choose-iteration");
+  world_.mark_line(inv, kScanPreambleLine);
+  world_.end_invocation(inv, view);
+  co_return view;
+}
+
+sim::Task<void> AfekSnapshot::update(sim::Proc p, std::int64_t v) {
+  const InvocationId inv =
+      world_.begin_invocation(p.pid(), object_id_, "Update", sim::Value(v));
+  const Pid i = p.pid();
+  BLUNT_ASSERT(i >= 0 && i < opts_.num_processes,
+               "Update by non-segment process p" << i);
+  // The embedded scan exists only for wait-freedom; with
+  // iterate_update_scan it is treated as (part of) the preamble and
+  // iterated.
+  std::vector<std::int64_t> view;
+  if (opts_.iterate_update_scan) {
+    view = co_await core::iterate_preamble<std::vector<std::int64_t>>(
+        p, inv, opts_.preamble_iterations,
+        [this, p, inv]() { return scan_loop(p, inv); },
+        name_ + ".choose-iteration");
+  } else {
+    view = co_await scan_loop(p, inv);
+  }
+  world_.mark_line(inv, kUpdateScanLine);
+  auto& mine = cells_[static_cast<std::size_t>(i)];
+  Cell next;
+  next.value = v;
+  next.seq = mine.peek().seq + 1;
+  next.view = std::move(view);
+  co_await mine.write(p, std::move(next), inv);
+  world_.end_invocation(inv, {});
+}
+
+}  // namespace blunt::objects

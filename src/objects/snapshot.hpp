@@ -1,0 +1,86 @@
+// The Afek–Attiya–Dolev–Gafni–Merritt–Shavit wait-free atomic snapshot from
+// single-writer registers [1] (Section 5.2), plus its preamble-iterated
+// version Snapshot^k.
+//
+// Each process i owns a single-writer register M[i] holding
+// (value, seq, view): its segment value, a local sequence number bumped on
+// every Update, and the snapshot embedded at that Update. Scan repeatedly
+// collects M[0..n−1]; it returns when either two successive collects are
+// identical (a clean double collect) or some process is seen to move twice
+// (then that process performed a complete Update inside the Scan and its
+// embedded view is a valid snapshot). Update(v) at i runs a Scan, then
+// writes (v, seq+1, that scan) to M[i].
+//
+// Tail strong linearizability (Section 5.2): Π maps Scan to the control
+// point just before it returns (the whole collect loop is read-only, hence
+// effect-free) and Update to ℓ0 — an Update is linearized only at its write;
+// the embedded scan exists solely for wait-freedom. Optionally Update's
+// preamble can be *extended* to the end of its embedded scan
+// (Options::iterate_update_scan), trading more time for more blunting, as
+// the paper notes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "lin/strong.hpp"
+#include "mem/typed_register.hpp"
+#include "objects/register_object.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::objects {
+
+class AfekSnapshot final : public SnapshotObject {
+ public:
+  struct Options {
+    int num_processes = 3;
+    std::int64_t initial = 0;
+    int preamble_iterations = 1;     // k
+    bool iterate_update_scan = false;  // extend Update's preamble to its scan
+  };
+
+  // Control points used as preamble ends.
+  static constexpr int kScanPreambleLine = 90;    // just before Scan returns
+  static constexpr int kUpdateScanLine = 50;      // end of Update's scan
+
+  AfekSnapshot(std::string name, sim::World& w, Options opts);
+
+  sim::Task<std::vector<std::int64_t>> scan(sim::Proc p) override;
+  sim::Task<void> update(sim::Proc p, std::int64_t v) override;
+
+  [[nodiscard]] int object_id() const override { return object_id_; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  /// Π: Scan -> line 90; Update -> ℓ0 (or line 50 when the embedded scan is
+  /// part of the preamble).
+  [[nodiscard]] lin::PreambleMapping preamble_mapping() const;
+
+  [[nodiscard]] int collects_run() const { return collects_run_; }
+
+ private:
+  struct Cell {
+    std::int64_t value = 0;
+    std::int64_t seq = 0;
+    std::vector<std::int64_t> view;
+
+    [[nodiscard]] std::string summary() const;
+  };
+
+  /// One collect: read M[0..n−1], one step per cell.
+  sim::Task<std::vector<Cell>> collect(sim::Proc p, InvocationId inv);
+  /// The full Scan loop (the effect-free preamble of Scan; also Update's
+  /// embedded scan).
+  sim::Task<std::vector<std::int64_t>> scan_loop(sim::Proc p,
+                                                 InvocationId inv);
+
+  std::string name_;
+  sim::World& world_;
+  Options opts_;
+  int object_id_;
+  std::vector<mem::TypedRegister<Cell>> cells_;
+  int collects_run_ = 0;
+};
+
+}  // namespace blunt::objects

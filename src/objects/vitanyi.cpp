@@ -1,0 +1,84 @@
+#include "objects/vitanyi.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "core/transform.hpp"
+
+namespace blunt::objects {
+
+std::string VitanyiRegister::Cell::summary() const {
+  std::ostringstream os;
+  os << "(v=" << sim::to_string(value) << ",ts=" << ts << ')';
+  return os.str();
+}
+
+VitanyiRegister::VitanyiRegister(std::string name, sim::World& w, Options opts)
+    : name_(std::move(name)),
+      world_(w),
+      opts_(opts),
+      object_id_(w.register_object(name_)) {
+  BLUNT_ASSERT(opts_.num_processes >= 1, "VA register needs processes");
+  BLUNT_ASSERT(opts_.preamble_iterations >= 1, "k must be >= 1");
+  vals_.reserve(static_cast<std::size_t>(opts_.num_processes));
+  for (Pid i = 0; i < opts_.num_processes; ++i) {
+    Cell init;
+    init.value = opts_.initial;
+    // Val[i] is single-writer (process i), multi-reader.
+    vals_.emplace_back(name_ + ".Val[" + std::to_string(i) + "]", init,
+                       std::vector<Pid>{i}, std::vector<Pid>{});
+  }
+}
+
+lin::PreambleMapping VitanyiRegister::preamble_mapping() const {
+  lin::PreambleMapping pi;
+  pi.set(name_, "Read", kReadPreambleLine);
+  pi.set(name_, "Write", kWritePreambleLine);
+  return pi;
+}
+
+sim::Task<VitanyiRegister::Cell> VitanyiRegister::collect_max(
+    sim::Proc p, InvocationId inv) {
+  Cell best;
+  bool have = false;
+  for (auto& val : vals_) {
+    Cell c = co_await val.read(p, inv);
+    if (!have || c.ts > best.ts) {
+      best = std::move(c);
+      have = true;
+    }
+  }
+  co_return best;
+}
+
+sim::Task<sim::Value> VitanyiRegister::read(sim::Proc p) {
+  const InvocationId inv =
+      world_.begin_invocation(p.pid(), object_id_, "Read", {});
+  Cell chosen = co_await core::iterate_preamble<Cell>(
+      p, inv, opts_.preamble_iterations,
+      [this, p, inv]() { return collect_max(p, inv); },
+      name_ + ".choose-iteration");
+  world_.mark_line(inv, kReadPreambleLine);
+  world_.end_invocation(inv, chosen.value);
+  co_return chosen.value;
+}
+
+sim::Task<void> VitanyiRegister::write(sim::Proc p, sim::Value v) {
+  const InvocationId inv =
+      world_.begin_invocation(p.pid(), object_id_, "Write", v);
+  const Pid i = p.pid();
+  BLUNT_ASSERT(i >= 0 && i < opts_.num_processes,
+               "Write by non-member process p" << i);
+  Cell max = co_await core::iterate_preamble<Cell>(
+      p, inv, opts_.preamble_iterations,
+      [this, p, inv]() { return collect_max(p, inv); },
+      name_ + ".choose-iteration");
+  world_.mark_line(inv, kWritePreambleLine);
+  Cell next;
+  next.value = std::move(v);
+  next.ts = Timestamp{max.ts.number + 1, i};
+  co_await vals_[static_cast<std::size_t>(i)].write(p, std::move(next), inv);
+  world_.end_invocation(inv, {});
+}
+
+}  // namespace blunt::objects

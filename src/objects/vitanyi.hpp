@@ -1,0 +1,68 @@
+// The Vitanyi–Awerbuch multi-writer multi-reader register from single-writer
+// registers [22] (Section 5.3), plus its preamble-iterated version.
+//
+// A single-writer register Val[i] holds (value, timestamp) for each writer i;
+// timestamps are (integer, process id) pairs ordered lexicographically.
+//
+//   Read:     read all Val[j]; return the value with the largest timestamp.
+//   Write(v) at i: read all Val[j]; new ts := (max integer part + 1, i);
+//             write (v, ts) to Val[i].
+//
+// Tail strong linearizability (Section 5.3): the Read preamble ends just
+// before the return; the Write preamble ends immediately before the write to
+// Val[i]. Both preambles only read base registers — effect-free.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "lin/strong.hpp"
+#include "mem/typed_register.hpp"
+#include "objects/register_object.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::objects {
+
+class VitanyiRegister final : public RegisterObject {
+ public:
+  struct Options {
+    int num_processes = 3;  // all processes may read and write
+    sim::Value initial;     // defaults to ⊥
+    int preamble_iterations = 1;  // k
+  };
+
+  static constexpr int kReadPreambleLine = 90;   // just before return
+  static constexpr int kWritePreambleLine = 50;  // just before Val[i] write
+
+  VitanyiRegister(std::string name, sim::World& w, Options opts);
+
+  sim::Task<sim::Value> read(sim::Proc p) override;
+  sim::Task<void> write(sim::Proc p, sim::Value v) override;
+
+  [[nodiscard]] int object_id() const override { return object_id_; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  [[nodiscard]] lin::PreambleMapping preamble_mapping() const;
+
+ private:
+  struct Cell {
+    sim::Value value;
+    Timestamp ts{0, 0};
+
+    [[nodiscard]] std::string summary() const;
+  };
+
+  /// Reads all Val registers; returns the (value, ts) pair with the largest
+  /// timestamp — the effect-free preamble of both methods.
+  sim::Task<Cell> collect_max(sim::Proc p, InvocationId inv);
+
+  std::string name_;
+  sim::World& world_;
+  Options opts_;
+  int object_id_;
+  std::vector<mem::TypedRegister<Cell>> vals_;
+};
+
+}  // namespace blunt::objects

@@ -1,0 +1,73 @@
+#include "programs/rounds.hpp"
+
+#include "common/assert.hpp"
+
+namespace blunt::programs {
+
+bool RoundOutcome::looped() const {
+  if (!std::holds_alternative<std::int64_t>(c)) return false;
+  const std::int64_t cv = std::get<std::int64_t>(c);
+  if (cv != 0 && cv != 1) return false;
+  if (!std::holds_alternative<std::int64_t>(u1) ||
+      !std::holds_alternative<std::int64_t>(u2)) {
+    return false;
+  }
+  return std::get<std::int64_t>(u1) == cv &&
+         std::get<std::int64_t>(u2) == 1 - cv;
+}
+
+bool RoundsOutcome::any_looped() const { return rounds_looped() > 0; }
+
+int RoundsOutcome::rounds_looped() const {
+  int n = 0;
+  for (const RoundOutcome& r : rounds) n += r.looped() ? 1 : 0;
+  return n;
+}
+
+void install_round_weakener(
+    sim::World& w,
+    const std::vector<std::shared_ptr<objects::RegisterObject>>& r_regs,
+    const std::vector<std::shared_ptr<objects::RegisterObject>>& c_regs,
+    RoundsOutcome& out) {
+  BLUNT_ASSERT(!r_regs.empty() && r_regs.size() == c_regs.size(),
+               "need one (R, C) pair per round");
+  const int rounds = static_cast<int>(r_regs.size());
+  out.rounds.assign(static_cast<std::size_t>(rounds), RoundOutcome{});
+
+  const Pid p0 = w.add_process(
+      "p0", [r_regs, rounds](sim::Proc p) -> sim::Task<void> {
+        for (int t = 0; t < rounds; ++t) {
+          co_await r_regs[static_cast<std::size_t>(t)]->write(
+              p, sim::Value(std::int64_t{0}));
+        }
+      });
+  BLUNT_ASSERT(p0 == 0, "round weakener must own pids 0..2");
+
+  const Pid p1 = w.add_process(
+      "p1",
+      [r_regs, c_regs, rounds, &out](sim::Proc p) -> sim::Task<void> {
+        for (int t = 0; t < rounds; ++t) {
+          const auto ut = static_cast<std::size_t>(t);
+          co_await r_regs[ut]->write(p, sim::Value(std::int64_t{1}));
+          const int coin =
+              co_await p.random(2, "program-coin r" + std::to_string(t));
+          out.rounds[ut].coin = coin;
+          co_await c_regs[ut]->write(p, sim::Value(std::int64_t{coin}));
+        }
+      });
+  BLUNT_ASSERT(p1 == 1, "round weakener must own pids 0..2");
+
+  const Pid p2 = w.add_process(
+      "p2",
+      [r_regs, c_regs, rounds, &out](sim::Proc p) -> sim::Task<void> {
+        for (int t = 0; t < rounds; ++t) {
+          const auto ut = static_cast<std::size_t>(t);
+          out.rounds[ut].u1 = co_await r_regs[ut]->read(p);
+          out.rounds[ut].u2 = co_await r_regs[ut]->read(p);
+          out.rounds[ut].c = co_await c_regs[ut]->read(p);
+        }
+      });
+  BLUNT_ASSERT(p2 == 2, "round weakener must own pids 0..2");
+}
+
+}  // namespace blunt::programs

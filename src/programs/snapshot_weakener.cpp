@@ -1,0 +1,53 @@
+#include "programs/snapshot_weakener.hpp"
+
+#include "common/assert.hpp"
+
+namespace blunt::programs {
+
+ViewClass classify_view(const std::vector<std::int64_t>& v) {
+  BLUNT_ASSERT(v.size() >= 2, "view needs at least segments 0 and 1");
+  const bool s0 = v[0] != 0;
+  const bool s1 = v[1] != 0;
+  if (s0 && s1) return ViewClass::kBoth;
+  if (s0) return ViewClass::kOnly0;
+  if (s1) return ViewClass::kOnly1;
+  return ViewClass::kNone;
+}
+
+bool SnapshotWeakenerOutcome::bad() const {
+  if (v1.empty() || v2.empty()) return false;
+  if (!std::holds_alternative<std::int64_t>(c)) return false;
+  const std::int64_t cc = std::get<std::int64_t>(c);
+  if (cc != 0 && cc != 1) return false;
+  const ViewClass want = cc == 0 ? ViewClass::kOnly0 : ViewClass::kOnly1;
+  return classify_view(v1) == want && classify_view(v2) == ViewClass::kBoth;
+}
+
+void install_snapshot_weakener(sim::World& w, objects::SnapshotObject& s,
+                               objects::RegisterObject& c,
+                               SnapshotWeakenerOutcome& out) {
+  const Pid p0 = w.add_process("p0", [&s](sim::Proc p) -> sim::Task<void> {
+    co_await s.update(p, 1);
+  });
+  BLUNT_ASSERT(p0 == 0, "snapshot weakener must own pids 0..2");
+
+  const Pid p1 =
+      w.add_process("p1", [&s, &c, &out](sim::Proc p) -> sim::Task<void> {
+        co_await s.update(p, 1);
+        const int coin = co_await p.random(2, "program-coin");
+        out.coin = coin;
+        co_await c.write(p, sim::Value(std::int64_t{coin}));
+      });
+  BLUNT_ASSERT(p1 == 1, "snapshot weakener must own pids 0..2");
+
+  const Pid p2 =
+      w.add_process("p2", [&s, &c, &out](sim::Proc p) -> sim::Task<void> {
+        out.v1 = co_await s.scan(p);
+        out.v2 = co_await s.scan(p);
+        out.c = co_await c.read(p);
+        out.p2_done = true;
+      });
+  BLUNT_ASSERT(p2 == 2, "snapshot weakener must own pids 0..2");
+}
+
+}  // namespace blunt::programs

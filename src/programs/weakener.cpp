@@ -1,0 +1,48 @@
+#include "programs/weakener.hpp"
+
+#include "common/assert.hpp"
+
+namespace blunt::programs {
+
+bool WeakenerOutcome::looped() const {
+  // u1 = c ∧ u2 = 1 − c. With c = −1 (coin unread) or u's = ⊥ the test
+  // fails and p2 terminates.
+  if (!std::holds_alternative<std::int64_t>(c)) return false;
+  const std::int64_t cv = std::get<std::int64_t>(c);
+  if (cv != 0 && cv != 1) return false;
+  if (!std::holds_alternative<std::int64_t>(u1) ||
+      !std::holds_alternative<std::int64_t>(u2)) {
+    return false;
+  }
+  return std::get<std::int64_t>(u1) == cv &&
+         std::get<std::int64_t>(u2) == 1 - cv;
+}
+
+void install_weakener(sim::World& w, objects::RegisterObject& r,
+                      objects::RegisterObject& c, WeakenerOutcome& out) {
+  const Pid p0 = w.add_process("p0", [&r](sim::Proc p) -> sim::Task<void> {
+    co_await r.write(p, sim::Value(std::int64_t{0}));
+  });
+  BLUNT_ASSERT(p0 == 0, "weakener processes must be the world's first three");
+
+  const Pid p1 =
+      w.add_process("p1", [&r, &c, &out](sim::Proc p) -> sim::Task<void> {
+        co_await r.write(p, sim::Value(std::int64_t{1}));
+        // Line 4: the program coin flip — the single program random step.
+        const int coin = co_await p.random(2, "program-coin");
+        out.coin = coin;
+        co_await c.write(p, sim::Value(std::int64_t{coin}));
+      });
+  BLUNT_ASSERT(p1 == 1, "weakener processes must be the world's first three");
+
+  const Pid p2 =
+      w.add_process("p2", [&r, &c, &out](sim::Proc p) -> sim::Task<void> {
+        out.u1 = co_await r.read(p);
+        out.u2 = co_await r.read(p);
+        out.c = co_await c.read(p);
+        out.p2_done = true;
+      });
+  BLUNT_ASSERT(p2 == 2, "weakener processes must be the world's first three");
+}
+
+}  // namespace blunt::programs

@@ -1,0 +1,49 @@
+// Algorithm 1 — the weakener program (distilled from Hadzilacos–Hu–Toueg's
+// weakener [15]).
+//
+//   Initially R = ⊥, C = −1.
+//   p0: R := 0
+//   p1: R := 1; C := flip fair coin (0 or 1)
+//   p2: u1 := R; u2 := R; c := C;
+//       if (u1 = c ∧ u2 = 1 − c) loop forever else terminate
+//
+// The "loop forever" branch is recorded as outcome.looped instead of actually
+// spinning: the paper's bad-outcome set B is exactly the set of outcomes with
+// u1 = c and u2 = 1 − c (Section 2.4), which is a predicate on return values,
+// so nothing after the test matters.
+//
+// The harness is object-generic: instantiate R and C as AtomicRegister, ABD,
+// ABD^k, Vitanyi–Awerbuch, or Israeli–Li and the same program runs unchanged
+// (Proposition 2.1's object substitution).
+#pragma once
+
+#include <cstdint>
+
+#include "objects/register_object.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::programs {
+
+struct WeakenerOutcome {
+  sim::Value u1;  // p2's first read of R
+  sim::Value u2;  // p2's second read of R
+  sim::Value c;   // p2's read of C
+  int coin = -1;  // p1's program coin flip
+  bool p2_done = false;
+
+  /// The bad-outcome set B: p2 loops forever.
+  [[nodiscard]] bool looped() const;
+};
+
+/// Registers the three weakener processes (pids 0, 1, 2 — they must be the
+/// first three processes of the world) on `w`, running over registers R and
+/// C. The outcome object must outlive the run.
+void install_weakener(sim::World& w, objects::RegisterObject& r,
+                      objects::RegisterObject& c, WeakenerOutcome& out);
+
+/// Number of program random steps in the weakener (the paper's r).
+inline constexpr int kWeakenerRandomSteps = 1;
+/// Number of processes (the paper's n).
+inline constexpr int kWeakenerProcesses = 3;
+
+}  // namespace blunt::programs

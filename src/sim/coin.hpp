@@ -1,0 +1,83 @@
+// Coin sources: where all randomness in a simulation comes from.
+//
+// Section 2.3 of the paper models randomness as `random(V)` instructions that
+// sample uniformly from a finite set. Every random step in the simulator
+// draws from a CoinSource injected into the World, so an execution is a pure
+// function of (coin sequence, adversary choice sequence) — the determinism
+// the replay explorer (src/adversary) and all tests depend on.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace blunt::sim {
+
+/// Produces uniform samples in [0, n). Implementations must be deterministic
+/// given their construction parameters.
+class CoinSource {
+ public:
+  virtual ~CoinSource() = default;
+
+  /// Next uniform sample in [0, n), n >= 1.
+  virtual int next(int n) = 0;
+};
+
+/// PRNG-backed coins (Monte-Carlo runs).
+class SeededCoin final : public CoinSource {
+ public:
+  explicit SeededCoin(std::uint64_t seed) : rng_(seed) {}
+
+  int next(int n) override {
+    BLUNT_ASSERT(n >= 1, "SeededCoin::next with n=" << n);
+    std::uniform_int_distribution<int> dist(0, n - 1);
+    return dist(rng_);
+  }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// A scripted coin sequence, used by exhaustive exploration: the explorer
+/// enumerates all coin strings; when the script runs out, the source records
+/// the demanded modulus and returns 0, letting the explorer extend the
+/// script and branch. `exhausted_demand()` reports the modulus of the first
+/// out-of-script draw (0 if none occurred).
+class ScriptedCoin final : public CoinSource {
+ public:
+  ScriptedCoin() = default;
+  explicit ScriptedCoin(std::vector<int> script) : script_(std::move(script)) {}
+
+  int next(int n) override {
+    BLUNT_ASSERT(n >= 1, "ScriptedCoin::next with n=" << n);
+    if (pos_ < script_.size()) {
+      const int v = script_[pos_++];
+      BLUNT_ASSERT(v >= 0 && v < n,
+                   "scripted coin " << v << " out of range [0," << n << ")");
+      return v;
+    }
+    if (exhausted_demand_ == 0) exhausted_demand_ = n;
+    ++overflow_draws_;
+    return 0;
+  }
+
+  /// Number of scripted values consumed so far.
+  [[nodiscard]] std::size_t consumed() const { return pos_; }
+
+  /// Modulus of the first draw past the end of the script (0 = script
+  /// sufficed).
+  [[nodiscard]] int exhausted_demand() const { return exhausted_demand_; }
+
+  /// Number of draws past the end of the script.
+  [[nodiscard]] int overflow_draws() const { return overflow_draws_; }
+
+ private:
+  std::vector<int> script_;
+  std::size_t pos_ = 0;
+  int exhausted_demand_ = 0;
+  int overflow_draws_ = 0;
+};
+
+}  // namespace blunt::sim

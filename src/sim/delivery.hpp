@@ -1,0 +1,38 @@
+// Interface between the World and message-passing substrates.
+//
+// The net module's Network<M> implements DeliverySource; the World enumerates
+// pending deliveries as adversary-choosable events and executes the chosen
+// one. Keeping only this interface in sim avoids a sim -> net dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace blunt::sim {
+
+struct PendingDelivery {
+  int msg_id = -1;
+  Pid to = -1;
+  std::string summary;  // human-readable message description
+};
+
+class DeliverySource {
+ public:
+  virtual ~DeliverySource() = default;
+
+  /// Append all currently deliverable messages, in canonical (msg_id) order.
+  virtual void enumerate(std::vector<PendingDelivery>& out) const = 0;
+
+  /// Deliver message `msg_id`: remove it from the in-transit set and run the
+  /// recipient's handler synchronously. The handler may send further
+  /// messages.
+  virtual void deliver(int msg_id) = 0;
+
+  /// Drop all in-transit messages addressed to a crashed process and stop
+  /// accepting new ones for it.
+  virtual void on_crash(Pid pid) = 0;
+};
+
+}  // namespace blunt::sim

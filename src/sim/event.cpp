@@ -1,0 +1,30 @@
+#include "sim/event.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace blunt::sim {
+
+std::ostream& operator<<(std::ostream& os, const Event& e) {
+  switch (e.kind) {
+    case Event::Kind::kResume:
+      os << "resume(p" << e.pid << ": " << e.what << ')';
+      break;
+    case Event::Kind::kDeliver:
+      os << "deliver(to p" << e.pid << ", net" << e.source_id << " msg"
+         << e.msg_id << ": " << e.what << ')';
+      break;
+    case Event::Kind::kCrash:
+      os << "crash(p" << e.pid << ')';
+      break;
+  }
+  return os;
+}
+
+std::string to_string(const Event& e) {
+  std::ostringstream os;
+  os << e;
+  return os.str();
+}
+
+}  // namespace blunt::sim

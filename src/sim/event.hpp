@@ -1,0 +1,40 @@
+// Scheduling events: the menu of choices the strong adversary picks from at
+// every scheduler step.
+//
+// Section 2.4 models an adversary as a function from observed random values
+// to complete schedules. Operationally, at each step the World enumerates the
+// *enabled* events in a canonical, deterministic order and asks the Adversary
+// for an index. Because enumeration order is canonical, a sequence of indices
+// identifies a schedule, which is what the replay explorer enumerates.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace blunt::sim {
+
+struct Event {
+  enum class Kind {
+    kResume,   // resume process `pid` (runs its next step)
+    kDeliver,  // deliver message `msg_id` from delivery source `source_id`
+    kCrash,    // crash process `pid` (only if crashes are enabled)
+  };
+
+  Kind kind = Kind::kResume;
+  Pid pid = -1;        // acting / affected process
+  int source_id = -1;  // for kDeliver
+  int msg_id = -1;     // for kDeliver
+  std::string what;    // label of the step that will execute (for adversaries
+                       // and debugging)
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Event& e);
+
+[[nodiscard]] std::string to_string(const Event& e);
+
+}  // namespace blunt::sim

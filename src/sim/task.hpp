@@ -1,0 +1,167 @@
+// Task<T>: the coroutine type used for simulated processes and object
+// methods.
+//
+// Tasks are lazy (they run only when resumed) and chain continuations with
+// symmetric transfer, so `co_await object.method(p)` runs the callee until
+// the callee parks at a scheduler step, and resumes the caller in the same
+// scheduler step when the callee returns. A method return is therefore not a
+// separately scheduled step, matching the usual atomicity reduction: only
+// shared-state accesses, message events, and random samples are
+// adversary-visible scheduling points (see World).
+//
+// Lifetime rules (important):
+//  * A Task owns its coroutine frame and destroys it in the destructor; it is
+//    move-only.
+//  * Destroying a Task whose frame is suspended destroys the frame, which in
+//    turn destroys any temporary child Task bound in a pending `co_await`
+//    expression, so whole call chains unwind cleanly at World teardown.
+//  * Lambda coroutines keep their captures in the lambda OBJECT, not the
+//    frame. World stores process bodies by value before invoking them (see
+//    World::add_process) so captures stay alive.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace blunt::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) const noexcept {
+      auto& promise = h.promise();
+      if (promise.continuation) return promise.continuation;
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;
+
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+  [[nodiscard]] bool done() const { return handle_ && handle_.done(); }
+  [[nodiscard]] Handle handle() const { return handle_; }
+
+  /// Awaiting a task transfers control to it (symmetric transfer) and
+  /// resumes the awaiter when the task completes.
+  auto operator co_await() {
+    struct Awaiter {
+      Handle h;
+      [[nodiscard]] bool await_ready() const { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        h.promise().continuation = cont;
+        return h;
+      }
+      T await_resume() {
+        BLUNT_ASSERT(h, "awaiting an empty Task");
+        auto& p = h.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        if constexpr (!std::is_void_v<T>) {
+          BLUNT_ASSERT(p.value.has_value(),
+                       "Task completed without producing a value");
+          return std::move(*p.value);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Result of a completed Task (root tasks are driven by the World, not
+  /// awaited).
+  template <typename U = T>
+  [[nodiscard]] const U& result() const
+    requires(!std::is_void_v<U> && std::is_same_v<U, T>)
+  {
+    BLUNT_ASSERT(done(), "Task::result on unfinished task");
+    auto& p = handle_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+    return *p.value;
+  }
+
+  /// Rethrows the stored exception, if any (for void root tasks).
+  void rethrow_if_exception() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace blunt::sim

@@ -1,0 +1,48 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace blunt::sim {
+
+const char* to_string(StepKind k) {
+  switch (k) {
+    case StepKind::kSpawn: return "spawn";
+    case StepKind::kLocal: return "local";
+    case StepKind::kRegisterRead: return "reg-read";
+    case StepKind::kRegisterWrite: return "reg-write";
+    case StepKind::kSend: return "send";
+    case StepKind::kDeliver: return "deliver";
+    case StepKind::kRandom: return "random";
+    case StepKind::kWaitResume: return "wait-resume";
+    case StepKind::kCall: return "call";
+    case StepKind::kReturn: return "return";
+    case StepKind::kCrash: return "crash";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const TraceEntry& e) {
+  os << '#' << e.index << " step=" << e.sched_step << " p" << e.pid << ' '
+     << to_string(e.kind) << ' ' << e.what;
+  if (e.inv >= 0) os << " inv=" << e.inv;
+  if (!is_bottom(e.value) || e.kind == StepKind::kRegisterRead) {
+    os << " val=" << e.value;
+  }
+  return os;
+}
+
+int Trace::append(TraceEntry e) {
+  e.index = static_cast<int>(entries_.size());
+  e.sched_step = sched_step_;
+  entries_.push_back(std::move(e));
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) os << e << '\n';
+  return os.str();
+}
+
+}  // namespace blunt::sim

@@ -1,0 +1,51 @@
+#include "sim/value.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace blunt::sim {
+
+std::int64_t as_int(const Value& v) {
+  const auto* p = std::get_if<std::int64_t>(&v);
+  BLUNT_ASSERT(p != nullptr, "Value is not an int: " << to_string(v));
+  return *p;
+}
+
+const std::vector<std::int64_t>& as_vec(const Value& v) {
+  const auto* p = std::get_if<std::vector<std::int64_t>>(&v);
+  BLUNT_ASSERT(p != nullptr, "Value is not a vector: " << to_string(v));
+  return *p;
+}
+
+std::string to_string(const Value& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  std::visit(
+      [&os](const auto& x) {
+        using X = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<X, Bottom>) {
+          os << "⊥";  // ⊥
+        } else if constexpr (std::is_same_v<X, std::int64_t>) {
+          os << x;
+        } else if constexpr (std::is_same_v<X, std::vector<std::int64_t>>) {
+          os << '[';
+          for (std::size_t i = 0; i < x.size(); ++i) {
+            if (i > 0) os << ',';
+            os << x[i];
+          }
+          os << ']';
+        } else {
+          os << x;
+        }
+      },
+      v);
+  return os;
+}
+
+}  // namespace blunt::sim

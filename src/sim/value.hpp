@@ -1,0 +1,40 @@
+// The value domain carried by registers, messages, invocations, and traces.
+//
+// A closed variant keeps traces and histories printable and hashable without
+// type erasure. `monostate` plays the role of the paper's ⊥ (initial register
+// value in Algorithm 1); vectors carry snapshot views.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace blunt::sim {
+
+/// ⊥ — the "no value yet" marker (Algorithm 1 initializes R to ⊥).
+using Bottom = std::monostate;
+
+using Value = std::variant<Bottom, std::int64_t, std::vector<std::int64_t>,
+                           std::string>;
+
+/// True iff v is ⊥.
+[[nodiscard]] inline bool is_bottom(const Value& v) {
+  return std::holds_alternative<Bottom>(v);
+}
+
+/// Extracts an int64, asserting on mismatch.
+[[nodiscard]] std::int64_t as_int(const Value& v);
+
+/// Extracts a vector view, asserting on mismatch.
+[[nodiscard]] const std::vector<std::int64_t>& as_vec(const Value& v);
+
+/// Render for traces and test failure messages. ⊥ prints as "⊥".
+[[nodiscard]] std::string to_string(const Value& v);
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace blunt::sim

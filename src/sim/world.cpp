@@ -1,0 +1,316 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+
+namespace blunt::sim {
+
+const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kCompleted: return "completed";
+    case RunStatus::kDeadlock: return "deadlock";
+    case RunStatus::kStepBudgetExhausted: return "step-budget-exhausted";
+  }
+  return "?";
+}
+
+World::World(Config cfg, std::unique_ptr<CoinSource> coins)
+    : cfg_(cfg), coins_(std::move(coins)) {
+  BLUNT_ASSERT(coins_ != nullptr, "World needs a CoinSource");
+}
+
+World::~World() = default;
+
+Pid World::add_process(std::string name, ProcessBody body) {
+  const Pid pid = static_cast<Pid>(slots_.size());
+  slots_.emplace_back();
+  Slot& s = slots_.back();
+  s.name = std::move(name);
+  // Store the callable at a stable heap address first (lambda captures live
+  // inside it and the coroutine frame will refer to them), then build the
+  // (lazy) coroutine from the stored copy.
+  s.body = std::make_unique<ProcessBody>(std::move(body));
+  s.root = (*s.body)(Proc(this, pid));
+  BLUNT_ASSERT(s.root.valid(), "process body returned an empty Task");
+  s.state = ProcState::kNotStarted;
+  per_process_invocations_.push_back(0);
+  return pid;
+}
+
+int World::attach(DeliverySource& src) {
+  sources_.push_back(&src);
+  return static_cast<int>(sources_.size()) - 1;
+}
+
+int World::register_object(std::string name) {
+  object_names_.push_back(std::move(name));
+  return static_cast<int>(object_names_.size()) - 1;
+}
+
+const std::string& World::process_name(Pid pid) const {
+  BLUNT_ASSERT(pid >= 0 && pid < process_count(), "bad pid " << pid);
+  return slots_[pid].name;
+}
+
+bool World::crashed(Pid pid) const {
+  BLUNT_ASSERT(pid >= 0 && pid < process_count(), "bad pid " << pid);
+  return slots_[pid].state == ProcState::kCrashed;
+}
+
+bool World::process_done(Pid pid) const {
+  BLUNT_ASSERT(pid >= 0 && pid < process_count(), "bad pid " << pid);
+  return slots_[pid].state == ProcState::kDone;
+}
+
+bool World::finished() const {
+  return std::all_of(slots_.begin(), slots_.end(), [](const Slot& s) {
+    return s.state == ProcState::kDone || s.state == ProcState::kCrashed;
+  });
+}
+
+std::vector<Event> World::enabled_events() const {
+  std::vector<Event> events;
+  for (Pid pid = 0; pid < process_count(); ++pid) {
+    const Slot& s = slots_[pid];
+    switch (s.state) {
+      case ProcState::kNotStarted:
+        events.push_back({Event::Kind::kResume, pid, -1, -1, "start"});
+        break;
+      case ProcState::kReady:
+        events.push_back({Event::Kind::kResume, pid, -1, -1, s.pending_what});
+        break;
+      case ProcState::kBlocked:
+        BLUNT_ASSERT(s.wait_pred, "blocked process without predicate");
+        if (s.wait_pred()) {
+          events.push_back(
+              {Event::Kind::kResume, pid, -1, -1, s.pending_what});
+        }
+        break;
+      case ProcState::kRunning:
+        BLUNT_UNREACHABLE("enabled_events during execute()");
+      case ProcState::kDone:
+      case ProcState::kCrashed:
+        break;
+    }
+  }
+  std::vector<PendingDelivery> pending;
+  for (int sid = 0; sid < static_cast<int>(sources_.size()); ++sid) {
+    pending.clear();
+    sources_[sid]->enumerate(pending);
+    for (const PendingDelivery& d : pending) {
+      if (crashed(d.to)) continue;
+      events.push_back(
+          {Event::Kind::kDeliver, d.to, sid, d.msg_id, d.summary});
+    }
+  }
+  if (crashes_used_ < cfg_.max_crashes) {
+    for (Pid pid = 0; pid < process_count(); ++pid) {
+      const Slot& s = slots_[pid];
+      if (s.state != ProcState::kDone && s.state != ProcState::kCrashed) {
+        events.push_back({Event::Kind::kCrash, pid, -1, -1, "crash"});
+      }
+    }
+  }
+  return events;
+}
+
+void World::execute(const Event& e) {
+  ++sched_steps_;
+  trace_.set_sched_step(sched_steps_);
+  switch (e.kind) {
+    case Event::Kind::kResume:
+      resume_slot(e.pid);
+      break;
+    case Event::Kind::kDeliver: {
+      BLUNT_ASSERT(e.source_id >= 0 &&
+                       e.source_id < static_cast<int>(sources_.size()),
+                   "bad delivery source " << e.source_id);
+      BLUNT_ASSERT(!crashed(e.pid), "delivery to crashed process");
+      trace_.append({.pid = e.pid,
+                     .kind = StepKind::kDeliver,
+                     .what = e.what,
+                     .inv = -1,
+                     .value = {}});
+      sources_[e.source_id]->deliver(e.msg_id);
+      break;
+    }
+    case Event::Kind::kCrash: {
+      BLUNT_ASSERT(crashes_used_ < cfg_.max_crashes, "crash budget exceeded");
+      Slot& s = slots_[e.pid];
+      BLUNT_ASSERT(s.state != ProcState::kDone &&
+                       s.state != ProcState::kCrashed,
+                   "crashing a finished process");
+      s.state = ProcState::kCrashed;
+      s.parked = {};
+      s.wait_pred = nullptr;
+      ++crashes_used_;
+      trace_.append({.pid = e.pid,
+                     .kind = StepKind::kCrash,
+                     .what = "crash",
+                     .inv = -1,
+                     .value = {}});
+      for (DeliverySource* src : sources_) src->on_crash(e.pid);
+      break;
+    }
+  }
+}
+
+void World::resume_slot(Pid pid) {
+  BLUNT_ASSERT(pid >= 0 && pid < process_count(), "bad pid " << pid);
+  Slot& s = slots_[pid];
+  std::coroutine_handle<> h;
+  switch (s.state) {
+    case ProcState::kNotStarted:
+      trace_.append({.pid = pid,
+                     .kind = StepKind::kSpawn,
+                     .what = s.name,
+                     .inv = -1,
+                     .value = {}});
+      h = s.root.handle();
+      break;
+    case ProcState::kReady:
+      if (s.pending_random_n > 0) {
+        s.random_value = coins_->next(s.pending_random_n);
+        ++random_draws_;
+        trace_.append({.pid = pid,
+                       .kind = StepKind::kRandom,
+                       .what = s.pending_what,
+                       .inv = s.pending_inv,
+                       .value = Value(std::int64_t{s.random_value})});
+      }
+      h = s.parked;
+      break;
+    case ProcState::kBlocked:
+      BLUNT_ASSERT(s.wait_pred && s.wait_pred(),
+                   "resumed a blocked process whose predicate does not hold; "
+                   "wait predicates must be monotone");
+      trace_.append({.pid = pid,
+                     .kind = StepKind::kWaitResume,
+                     .what = s.pending_what,
+                     .inv = s.pending_inv,
+                     .value = {}});
+      h = s.parked;
+      break;
+    default:
+      BLUNT_UNREACHABLE("resume of process in state "
+                        << static_cast<int>(s.state));
+  }
+  BLUNT_ASSERT(h && !h.done(), "resuming an invalid coroutine handle");
+  s.state = ProcState::kRunning;
+  s.parked = {};
+  s.wait_pred = nullptr;
+  s.pending_random_n = 0;
+  h.resume();
+  // The process either re-parked (state overwritten by park*) or ran to
+  // completion.
+  if (s.root.done()) {
+    s.root.rethrow_if_exception();
+    s.state = ProcState::kDone;
+  } else {
+    BLUNT_ASSERT(s.state != ProcState::kRunning,
+                 "process p" << pid
+                             << " suspended outside a Proc awaitable");
+  }
+}
+
+RunResult World::run(Adversary& adv) {
+  while (sched_steps_ < cfg_.max_steps) {
+    if (finished()) return {RunStatus::kCompleted, sched_steps_};
+    const std::vector<Event> events = enabled_events();
+    if (events.empty()) return {RunStatus::kDeadlock, sched_steps_};
+    const std::size_t idx = adv.choose(*this, events);
+    BLUNT_ASSERT(idx < events.size(),
+                 "adversary chose " << idx << " of " << events.size());
+    execute(events[idx]);
+  }
+  return {RunStatus::kStepBudgetExhausted, sched_steps_};
+}
+
+InvocationId World::begin_invocation(Pid pid, int object_id,
+                                     std::string method, Value argument) {
+  BLUNT_ASSERT(pid >= 0 && pid < process_count(), "bad pid " << pid);
+  BLUNT_ASSERT(object_id >= 0 &&
+                   object_id < static_cast<int>(object_names_.size()),
+               "begin_invocation with unregistered object " << object_id);
+  const InvocationId id = static_cast<InvocationId>(invocations_.size());
+  InvocationRecord rec;
+  rec.id = id;
+  rec.pid = pid;
+  rec.object_id = object_id;
+  rec.object_name = object_names_[object_id];
+  rec.method = std::move(method);
+  rec.argument = std::move(argument);
+  rec.per_process_seq = per_process_invocations_[pid]++;
+  rec.call_index =
+      trace_.append({.pid = pid,
+                     .kind = StepKind::kCall,
+                     .what = rec.object_name + "." + rec.method,
+                     .inv = id,
+                     .value = rec.argument});
+  invocations_.push_back(std::move(rec));
+  return id;
+}
+
+void World::end_invocation(InvocationId id, Value result) {
+  BLUNT_ASSERT(id >= 0 && id < static_cast<InvocationId>(invocations_.size()),
+               "bad invocation id " << id);
+  InvocationRecord& rec = invocations_[id];
+  BLUNT_ASSERT(rec.return_index < 0, "invocation " << id << " ended twice");
+  rec.result = result;
+  rec.return_index =
+      trace_.append({.pid = rec.pid,
+                     .kind = StepKind::kReturn,
+                     .what = rec.object_name + "." + rec.method,
+                     .inv = id,
+                     .value = std::move(result)});
+}
+
+void World::mark_line(InvocationId id, int line) {
+  BLUNT_ASSERT(id >= 0 && id < static_cast<InvocationId>(invocations_.size()),
+               "bad invocation id " << id);
+  InvocationRecord& rec = invocations_[id];
+  rec.max_line_passed = std::max(rec.max_line_passed, line);
+  const int idx = trace_.append({.pid = rec.pid,
+                                 .kind = StepKind::kLocal,
+                                 .what = "@line " + std::to_string(line),
+                                 .inv = id,
+                                 .value = Value(std::int64_t{line})});
+  rec.line_passes.emplace_back(line, idx);
+}
+
+void World::park(Pid pid, std::coroutine_handle<> h, StepKind kind,
+                 std::string what, InvocationId inv) {
+  Slot& s = slots_[pid];
+  BLUNT_ASSERT(s.state == ProcState::kRunning,
+               "park from a process that is not running");
+  s.parked = h;
+  s.state = ProcState::kReady;
+  s.pending_kind = kind;
+  s.pending_what = std::move(what);
+  s.pending_inv = inv;
+  s.pending_random_n = 0;
+  s.wait_pred = nullptr;
+}
+
+void World::park_random(Pid pid, std::coroutine_handle<> h, int n,
+                        std::string what, InvocationId inv) {
+  park(pid, h, StepKind::kRandom, std::move(what), inv);
+  slots_[pid].pending_random_n = n;
+}
+
+void World::park_wait(Pid pid, std::coroutine_handle<> h,
+                      std::function<bool()> pred, std::string what,
+                      InvocationId inv) {
+  park(pid, h, StepKind::kWaitResume, std::move(what), inv);
+  Slot& s = slots_[pid];
+  s.state = ProcState::kBlocked;
+  s.wait_pred = std::move(pred);
+}
+
+int World::drawn_random_value(Pid pid) const {
+  BLUNT_ASSERT(pid >= 0 && pid < process_count(), "bad pid " << pid);
+  const Slot& s = slots_[pid];
+  BLUNT_ASSERT(s.random_value >= 0, "no random value drawn for p" << pid);
+  return s.random_value;
+}
+
+}  // namespace blunt::sim

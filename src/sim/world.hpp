@@ -1,0 +1,290 @@
+// World: the deterministic, adversary-scheduled simulation kernel.
+//
+// A World hosts a set of simulated processes (coroutines), any number of
+// message-passing delivery sources (see net::Network), and a coin source.
+// Execution proceeds in *scheduler steps*: at each step the World enumerates
+// the enabled events in a canonical order (process resumptions, message
+// deliveries, optionally crashes) and asks the Adversary to pick one. This
+// realizes the strong adversary of Section 2.4 of the paper: the adversary
+// observes the entire past of the execution — including all random values
+// drawn so far, via trace() — but never future coins, because coins are drawn
+// only when the chosen event executes.
+//
+// Determinism: an execution is a pure function of (coin sequence, sequence of
+// chosen event indices). The replay explorer in src/adversary exploits this
+// to enumerate schedules exhaustively.
+//
+// Step granularity: a process runs uninterrupted between two `co_await`
+// points on Proc (yield / random / wait_until). All shared-state effects
+// (base-register accesses, sends) must sit immediately after such a point, a
+// convention every object implementation in src/objects follows, so each
+// scheduler step performs at most one shared-state effect — the interleaving
+// semantics of Section 2.1.
+#pragma once
+
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "sim/coin.hpp"
+#include "sim/delivery.hpp"
+#include "sim/event.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+#include "sim/value.hpp"
+
+namespace blunt::sim {
+
+class World;
+class Adversary;
+
+struct Config {
+  /// Maximum scheduler steps before run() gives up.
+  int max_steps = 200000;
+  /// How many processes the adversary may crash (0 = crash events disabled).
+  int max_crashes = 0;
+};
+
+enum class RunStatus {
+  kCompleted,            // every process ran to completion (or crashed)
+  kDeadlock,             // live processes exist but no event is enabled
+  kStepBudgetExhausted,  // cfg.max_steps reached
+};
+
+[[nodiscard]] const char* to_string(RunStatus s);
+
+struct RunResult {
+  RunStatus status = RunStatus::kCompleted;
+  int steps = 0;
+};
+
+/// Lightweight handle a process coroutine uses to interact with its World.
+/// Copyable; carries no ownership.
+class Proc {
+ public:
+  Proc() = default;
+  Proc(World* w, Pid pid) : world_(w), pid_(pid) {}
+
+  [[nodiscard]] Pid pid() const { return pid_; }
+  [[nodiscard]] World& world() const {
+    BLUNT_ASSERT(world_ != nullptr, "Proc not bound to a World");
+    return *world_;
+  }
+
+  // Awaitables (definitions below World).
+  /// One adversary-schedulable step; the code after `co_await` runs when the
+  /// adversary resumes this process.
+  [[nodiscard]] auto yield(StepKind kind, std::string what,
+                           InvocationId inv = -1);
+  /// A random(V) step with |V| = n; returns the sampled index in [0, n).
+  [[nodiscard]] auto random(int n, std::string what, InvocationId inv = -1);
+  /// Blocks until `pred` holds, then takes one step. `pred` must be monotone
+  /// (once true, stays true until the process is resumed) — quorum waits are.
+  [[nodiscard]] auto wait_until(std::function<bool()> pred, std::string what,
+                                InvocationId inv = -1);
+
+ private:
+  World* world_ = nullptr;
+  Pid pid_ = -1;
+};
+
+/// Strong adversary interface: picks one of the enabled events. `w` exposes
+/// the full past (trace, invocations, random values) — nothing about future
+/// coins exists yet to observe.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+  virtual std::size_t choose(const World& w,
+                             const std::vector<Event>& enabled) = 0;
+};
+
+class World {
+ public:
+  using ProcessBody = std::function<Task<void>(Proc)>;
+
+  World(Config cfg, std::unique_ptr<CoinSource> coins);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Registers a process. The body is stored by value before being invoked,
+  /// so lambda captures outlive the coroutine frame.
+  Pid add_process(std::string name, ProcessBody body);
+
+  /// Registers a message-delivery source (e.g. one net::Network per
+  /// protocol instance). Returns its source id. The source must outlive the
+  /// World's run.
+  int attach(DeliverySource& src);
+
+  /// Registers a shared object for history bookkeeping; returns object id.
+  int register_object(std::string name);
+
+  /// Runs to completion / deadlock / budget under the given adversary.
+  RunResult run(Adversary& adv);
+
+  // -- Single-stepping interface (used by run() and by explorers) --
+
+  /// Enumerates enabled events in canonical order: process resumptions by
+  /// ascending pid, then deliveries by (source id, message id), then crashes
+  /// by ascending pid.
+  [[nodiscard]] std::vector<Event> enabled_events() const;
+  /// Executes one enabled event (must come from enabled_events()).
+  void execute(const Event& e);
+  /// True iff every process is done or crashed.
+  [[nodiscard]] bool finished() const;
+
+  // -- Observation (adversaries, checkers, tests) --
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] Trace& trace_mutable() { return trace_; }
+  [[nodiscard]] const std::vector<InvocationRecord>& invocations() const {
+    return invocations_;
+  }
+  [[nodiscard]] int steps_executed() const { return sched_steps_; }
+  [[nodiscard]] int random_draws() const { return random_draws_; }
+  [[nodiscard]] int process_count() const {
+    return static_cast<int>(slots_.size());
+  }
+  [[nodiscard]] const std::string& process_name(Pid pid) const;
+  [[nodiscard]] bool crashed(Pid pid) const;
+  [[nodiscard]] bool process_done(Pid pid) const;
+
+  // -- Invocation bookkeeping (called by object implementations) --
+
+  /// Records the call action of a method invocation; returns its id.
+  InvocationId begin_invocation(Pid pid, int object_id, std::string method,
+                                Value argument);
+  /// Records the return action.
+  void end_invocation(InvocationId id, Value result);
+  /// Records that invocation `id` passed control point `line` (the paper's
+  /// "step of i at ℓ"); consumed by the tail-strong-linearizability checker
+  /// and the preamble framework.
+  void mark_line(InvocationId id, int line);
+
+  [[nodiscard]] const std::vector<std::string>& object_names() const {
+    return object_names_;
+  }
+
+  // -- Internal: awaiter support (public for the awaiter types; not a user
+  //    API) --
+
+  void park(Pid pid, std::coroutine_handle<> h, StepKind kind,
+            std::string what, InvocationId inv);
+  void park_random(Pid pid, std::coroutine_handle<> h, int n, std::string what,
+                   InvocationId inv);
+  void park_wait(Pid pid, std::coroutine_handle<> h,
+                 std::function<bool()> pred, std::string what,
+                 InvocationId inv);
+  [[nodiscard]] int drawn_random_value(Pid pid) const;
+
+ private:
+  enum class ProcState {
+    kNotStarted,
+    kReady,    // parked, resumable
+    kBlocked,  // parked behind a wait predicate
+    kRunning,  // currently executing (transient, inside execute())
+    kDone,
+    kCrashed,
+  };
+
+  struct Slot {
+    std::string name;
+    // Owns the lambda captures the coroutine frame refers into. Held by
+    // unique_ptr so its address survives slots_ reallocation.
+    std::unique_ptr<ProcessBody> body;
+    Task<void> root;
+    std::coroutine_handle<> parked;
+    ProcState state = ProcState::kNotStarted;
+    StepKind pending_kind = StepKind::kLocal;
+    std::string pending_what;
+    InvocationId pending_inv = -1;
+    std::function<bool()> wait_pred;
+    int pending_random_n = 0;  // > 0: next resume draws a coin
+    int random_value = -1;     // last drawn coin for this process
+  };
+
+  void resume_slot(Pid pid);
+
+  Config cfg_;
+  std::unique_ptr<CoinSource> coins_;
+  std::vector<Slot> slots_;
+  std::vector<DeliverySource*> sources_;
+  std::vector<std::string> object_names_;
+  Trace trace_;
+  std::vector<InvocationRecord> invocations_;
+  std::vector<int> per_process_invocations_;
+  int sched_steps_ = 0;
+  int random_draws_ = 0;
+  int crashes_used_ = 0;
+};
+
+// ---- Awaitable definitions ----
+
+namespace detail {
+
+struct StepAwaiter {
+  World* w;
+  Pid pid;
+  StepKind kind;
+  std::string what;
+  InvocationId inv;
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    w->park(pid, h, kind, std::move(what), inv);
+  }
+  void await_resume() const noexcept {}
+};
+
+struct RandomAwaiter {
+  World* w;
+  Pid pid;
+  int n;
+  std::string what;
+  InvocationId inv;
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    w->park_random(pid, h, n, std::move(what), inv);
+  }
+  [[nodiscard]] int await_resume() const { return w->drawn_random_value(pid); }
+};
+
+struct WaitAwaiter {
+  World* w;
+  Pid pid;
+  std::function<bool()> pred;
+  std::string what;
+  InvocationId inv;
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    w->park_wait(pid, h, std::move(pred), std::move(what), inv);
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+inline auto Proc::yield(StepKind kind, std::string what, InvocationId inv) {
+  return detail::StepAwaiter{&world(), pid_, kind, std::move(what), inv};
+}
+
+inline auto Proc::random(int n, std::string what, InvocationId inv) {
+  BLUNT_ASSERT(n >= 1, "random(V) needs |V| >= 1");
+  return detail::RandomAwaiter{&world(), pid_, n, std::move(what), inv};
+}
+
+inline auto Proc::wait_until(std::function<bool()> pred, std::string what,
+                             InvocationId inv) {
+  return detail::WaitAwaiter{&world(), pid_, std::move(pred), std::move(what),
+                             inv};
+}
+
+}  // namespace blunt::sim

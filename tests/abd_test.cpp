@@ -1,0 +1,312 @@
+// Tests for the ABD register (Algorithm 3) and ABD^k (Algorithm 4):
+// protocol behavior, quorum liveness under crashes, linearizability under
+// adversarial schedules, preamble bookkeeping, and the k-iteration machinery.
+#include "objects/abd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lin/check.hpp"
+#include "lin/history.hpp"
+#include "sim/adversaries.hpp"
+#include "test_util.hpp"
+
+namespace blunt::objects {
+namespace {
+
+using sim::Value;
+
+Value v(std::int64_t x) { return Value(x); }
+
+TEST(Abd, WriteThenReadSameProcess) {
+  auto w = test::make_world();
+  AbdRegister reg("R", *w, {.num_processes = 3});
+  Value got;
+  w->add_process("p0", [&](sim::Proc p) -> sim::Task<void> {
+    co_await reg.write(p, v(5));
+    got = co_await reg.read(p);
+  });
+  w->add_process("p1", [](sim::Proc) -> sim::Task<void> { co_return; });
+  w->add_process("p2", [](sim::Proc) -> sim::Task<void> { co_return; });
+  sim::UniformAdversary adv(7);
+  ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+  EXPECT_EQ(got, v(5));
+}
+
+TEST(Abd, ReadOfFreshRegisterReturnsInitial) {
+  auto w = test::make_world();
+  AbdRegister reg("R", *w, {.num_processes = 3, .initial = v(-1)});
+  Value got;
+  w->add_process("p0", [&](sim::Proc p) -> sim::Task<void> {
+    got = co_await reg.read(p);
+  });
+  w->add_process("p1", [](sim::Proc) -> sim::Task<void> { co_return; });
+  w->add_process("p2", [](sim::Proc) -> sim::Task<void> { co_return; });
+  sim::UniformAdversary adv(3);
+  ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+  EXPECT_EQ(got, v(-1));
+}
+
+TEST(Abd, SequentialWritesReadLatest) {
+  auto w = test::make_world();
+  AbdRegister reg("R", *w, {.num_processes = 3});
+  Value got;
+  w->add_process("p0", [&](sim::Proc p) -> sim::Task<void> {
+    co_await reg.write(p, v(1));
+    co_await reg.write(p, v(2));
+    got = co_await reg.read(p);
+  });
+  w->add_process("p1", [](sim::Proc) -> sim::Task<void> { co_return; });
+  w->add_process("p2", [](sim::Proc) -> sim::Task<void> { co_return; });
+  sim::UniformAdversary adv(11);
+  ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+  EXPECT_EQ(got, v(2));
+}
+
+TEST(Abd, QuorumIsMajority) {
+  auto w3 = test::make_world();
+  EXPECT_EQ(AbdRegister("a", *w3, {.num_processes = 3}).quorum(), 2);
+  EXPECT_EQ(AbdRegister("b", *w3, {.num_processes = 4}).quorum(), 3);
+  EXPECT_EQ(AbdRegister("c", *w3, {.num_processes = 5}).quorum(), 3);
+}
+
+TEST(Abd, WriteRaisesReplicaTimestampsOnAQuorum) {
+  auto w = test::make_world();
+  AbdRegister reg("R", *w, {.num_processes = 3});
+  w->add_process("p0", [&](sim::Proc p) -> sim::Task<void> {
+    co_await reg.write(p, v(9));
+  });
+  w->add_process("p1", [](sim::Proc) -> sim::Task<void> { co_return; });
+  w->add_process("p2", [](sim::Proc) -> sim::Task<void> { co_return; });
+  sim::UniformAdversary adv(5);
+  ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+  int with_new_ts = 0;
+  for (Pid pid = 0; pid < 3; ++pid) {
+    const auto [val, ts] = reg.replica(pid);
+    if (ts.number >= 1) {
+      EXPECT_EQ(val, v(9));
+      ++with_new_ts;
+    }
+  }
+  EXPECT_GE(with_new_ts, reg.quorum());
+}
+
+TEST(Abd, SurvivesMinorityCrash) {
+  auto w = test::make_world(/*seed=*/1, /*max_steps=*/200000,
+                            /*max_crashes=*/1);
+  AbdRegister reg("R", *w, {.num_processes = 3});
+  Value got;
+  w->add_process("p0", [&](sim::Proc p) -> sim::Task<void> {
+    co_await reg.write(p, v(7));
+    got = co_await reg.read(p);
+  });
+  w->add_process("p1", [](sim::Proc) -> sim::Task<void> { co_return; });
+  w->add_process("p2", [](sim::Proc) -> sim::Task<void> { co_return; });
+  // Crash p2 up front, then run normally.
+  const auto events = w->enabled_events();
+  bool crashed = false;
+  for (const auto& e : events) {
+    if (e.kind == sim::Event::Kind::kCrash && e.pid == 2) {
+      w->execute(e);
+      crashed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(crashed);
+  sim::UniformAdversary adv(17);
+  ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+  EXPECT_EQ(got, v(7));
+}
+
+TEST(Abd, BlocksWithoutQuorum) {
+  // 3 processes, 2 crashed: no quorum, operations cannot complete.
+  auto w = test::make_world(/*seed=*/1, /*max_steps=*/5000,
+                            /*max_crashes=*/2);
+  AbdRegister reg("R", *w, {.num_processes = 3});
+  w->add_process("p0", [&](sim::Proc p) -> sim::Task<void> {
+    co_await reg.write(p, v(7));
+  });
+  w->add_process("p1", [](sim::Proc) -> sim::Task<void> { co_return; });
+  w->add_process("p2", [](sim::Proc) -> sim::Task<void> { co_return; });
+  for (const Pid victim : {1, 2}) {
+    for (const auto& e : w->enabled_events()) {
+      if (e.kind == sim::Event::Kind::kCrash && e.pid == victim) {
+        w->execute(e);
+        break;
+      }
+    }
+  }
+  sim::UniformAdversary adv(17);
+  const auto r = w->run(adv);
+  EXPECT_NE(r.status, sim::RunStatus::kCompleted);
+}
+
+// Concurrent soak: three processes write and read concurrently under a
+// random strong adversary; every resulting history must be linearizable
+// (ABD's linearizability, and with k >= 2 Theorem 4.1's equivalence).
+class AbdSoak : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AbdSoak, HistoriesLinearizable) {
+  const auto [k, seed] = GetParam();
+  auto w = test::make_world(static_cast<std::uint64_t>(seed));
+  AbdRegister reg("R", *w,
+                  {.num_processes = 3, .preamble_iterations = k});
+  for (Pid pid = 0; pid < 3; ++pid) {
+    w->add_process("p" + std::to_string(pid),
+                   [&reg, pid](sim::Proc p) -> sim::Task<void> {
+                     co_await reg.write(p, v(pid * 10));
+                     (void)co_await reg.read(p);
+                     co_await reg.write(p, v(pid * 10 + 1));
+                     (void)co_await reg.read(p);
+                   });
+  }
+  sim::UniformAdversary adv(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+  const lin::History h = lin::History::from_world(*w);
+  EXPECT_EQ(h.size(), 12);
+  lin::RegisterSpec spec;
+  const auto res = lin::check_linearizable(h, spec);
+  EXPECT_TRUE(res.linearizable) << h.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KAndSeeds, AbdSoak,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Range(0, 25)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(AbdK, RunsKQueryPhasesPerOperation) {
+  for (const int k : {1, 2, 4}) {
+    auto w = test::make_world(42);
+    AbdRegister reg("R", *w,
+                    {.num_processes = 3, .preamble_iterations = k});
+    w->add_process("p0", [&](sim::Proc p) -> sim::Task<void> {
+      co_await reg.write(p, v(1));
+      (void)co_await reg.read(p);
+    });
+    w->add_process("p1", [](sim::Proc) -> sim::Task<void> { co_return; });
+    w->add_process("p2", [](sim::Proc) -> sim::Task<void> { co_return; });
+    sim::UniformAdversary adv(9);
+    ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+    EXPECT_EQ(reg.query_phases_run(), 2 * k) << "k=" << k;
+    // Object random steps: one per operation when k > 1, none otherwise
+    // (original ABD is deterministic).
+    EXPECT_EQ(w->random_draws(), k > 1 ? 2 : 0) << "k=" << k;
+  }
+}
+
+TEST(AbdK, ChosenIterationDeterminesValue) {
+  // Sequential: write 1, write 2 by p0; then p0 reads with k=2. Both query
+  // phases see the same state, so either choice returns 2; the scripted
+  // coin exercises both branches.
+  for (const int choice : {0, 1}) {
+    auto w = test::make_world_scripted({choice});
+    AbdRegister reg("R", *w,
+                    {.num_processes = 3, .preamble_iterations = 2});
+    Value got;
+    w->add_process("p0", [&](sim::Proc p) -> sim::Task<void> {
+      co_await reg.write(p, v(1));
+      co_await reg.write(p, v(2));
+      got = co_await reg.read(p);
+    });
+    w->add_process("p1", [](sim::Proc) -> sim::Task<void> { co_return; });
+    w->add_process("p2", [](sim::Proc) -> sim::Task<void> { co_return; });
+    sim::UniformAdversary adv(21);
+    ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+    EXPECT_EQ(got, v(2)) << "choice=" << choice;
+  }
+}
+
+TEST(Abd, PreambleMappingCoversBothMethods) {
+  auto w = test::make_world();
+  AbdRegister reg("R", *w, {.num_processes = 3});
+  const lin::PreambleMapping pi = reg.preamble_mapping();
+  lin::Operation rd;
+  rd.object_name = "R";
+  rd.method = "Read";
+  lin::Operation wr;
+  wr.object_name = "R";
+  wr.method = "Write";
+  EXPECT_EQ(pi.line_for(rd), AbdRegister::kReadPreambleLine);
+  EXPECT_EQ(pi.line_for(wr), AbdRegister::kWritePreambleLine);
+}
+
+TEST(Abd, InvocationsRecordPreambleLinePasses) {
+  auto w = test::make_world();
+  AbdRegister reg("R", *w, {.num_processes = 3});
+  w->add_process("p0", [&](sim::Proc p) -> sim::Task<void> {
+    co_await reg.write(p, v(3));
+    (void)co_await reg.read(p);
+  });
+  w->add_process("p1", [](sim::Proc) -> sim::Task<void> { co_return; });
+  w->add_process("p2", [](sim::Proc) -> sim::Task<void> { co_return; });
+  sim::UniformAdversary adv(2);
+  ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+  ASSERT_EQ(w->invocations().size(), 2u);
+  EXPECT_EQ(w->invocations()[0].max_line_passed,
+            AbdRegister::kWritePreambleLine);
+  EXPECT_EQ(w->invocations()[1].max_line_passed,
+            AbdRegister::kReadPreambleLine);
+}
+
+TEST(AbdSingleWriter, WriterSkipsQueryPhase) {
+  auto w = test::make_world();
+  AbdRegister reg("R", *w,
+                  {.num_processes = 3,
+                   .variant = AbdVariant::kSingleWriter,
+                   .single_writer = 0});
+  Value got;
+  w->add_process("p0", [&](sim::Proc p) -> sim::Task<void> {
+    co_await reg.write(p, v(4));
+    co_await reg.write(p, v(5));
+  });
+  w->add_process("p1", [&](sim::Proc p) -> sim::Task<void> {
+    got = co_await reg.read(p);
+  });
+  w->add_process("p2", [](sim::Proc) -> sim::Task<void> { co_return; });
+  sim::UniformAdversary adv(8);
+  ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+  // Two writes with no query phases; one read with one query phase.
+  EXPECT_EQ(reg.query_phases_run(), 1);
+  // The read returned some legal value.
+  const lin::History h = lin::History::from_world(*w);
+  lin::RegisterSpec spec;
+  EXPECT_TRUE(lin::check_linearizable(h, spec).linearizable)
+      << h.to_string();
+}
+
+TEST(AbdSingleWriter, PreambleMapsOnlyRead) {
+  auto w = test::make_world();
+  AbdRegister reg("R", *w,
+                  {.num_processes = 3,
+                   .variant = AbdVariant::kSingleWriter,
+                   .single_writer = 0});
+  const lin::PreambleMapping pi = reg.preamble_mapping();
+  lin::Operation wr;
+  wr.object_name = "R";
+  wr.method = "Write";
+  EXPECT_EQ(pi.line_for(wr), 0);  // trivial preamble
+}
+
+TEST(Abd, MessageCountsGrowWithK) {
+  int prev = 0;
+  for (const int k : {1, 2, 3}) {
+    auto w = test::make_world(4);
+    AbdRegister reg("R", *w,
+                    {.num_processes = 3, .preamble_iterations = k});
+    w->add_process("p0", [&](sim::Proc p) -> sim::Task<void> {
+      co_await reg.write(p, v(1));
+    });
+    w->add_process("p1", [](sim::Proc) -> sim::Task<void> { co_return; });
+    w->add_process("p2", [](sim::Proc) -> sim::Task<void> { co_return; });
+    sim::UniformAdversary adv(6);
+    ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+    EXPECT_GT(reg.messages_sent(), prev) << "k=" << k;
+    prev = reg.messages_sent();
+  }
+}
+
+}  // namespace
+}  // namespace blunt::objects

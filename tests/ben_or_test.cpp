@@ -1,0 +1,167 @@
+// Tests for Ben-Or-style randomized consensus over the register catalogue:
+// safety (agreement, validity) always — linearizability preserves safety
+// properties, the paper's Section 1 premise — and probabilistic termination
+// under fair random scheduling.
+#include "programs/ben_or.hpp"
+
+#include <gtest/gtest.h>
+
+#include "objects/abd.hpp"
+#include "objects/atomic.hpp"
+#include "objects/vitanyi.hpp"
+#include "sim/adversaries.hpp"
+#include "test_util.hpp"
+
+namespace blunt::programs {
+namespace {
+
+RegisterFactory atomic_factory(sim::World& w) {
+  return [&w](std::string name) {
+    return std::make_shared<objects::AtomicRegister>(std::move(name), w,
+                                                     sim::Value{});
+  };
+}
+
+RegisterFactory abd_factory(sim::World& w, int k) {
+  return [&w, k](std::string name) {
+    return std::make_shared<objects::AbdRegister>(
+        std::move(name), w,
+        objects::AbdRegister::Options{.num_processes = 3,
+                                      .preamble_iterations = k});
+  };
+}
+
+RegisterFactory vitanyi_factory(sim::World& w, int k) {
+  return [&w, k](std::string name) {
+    return std::make_shared<objects::VitanyiRegister>(
+        std::move(name), w,
+        objects::VitanyiRegister::Options{.num_processes = 3,
+                                          .preamble_iterations = k});
+  };
+}
+
+struct RunResult {
+  BenOrOutcome out;
+  sim::RunStatus status;
+};
+
+RunResult run_ben_or(std::uint64_t seed, const std::vector<int>& inputs,
+                     const std::function<RegisterFactory(sim::World&)>& mk,
+                     int max_rounds = 8, int max_steps = 500000) {
+  auto w = test::make_world(seed, max_steps);
+  BenOrConfig cfg{.num_processes = 3, .max_rounds = max_rounds,
+                  .inputs = inputs};
+  RunResult res;
+  auto regs = install_ben_or(*w, cfg, mk(*w), res.out);
+  sim::UniformAdversary adv(seed * 13 + 5);
+  res.status = w->run(adv).status;
+  return res;
+}
+
+TEST(BenOr, UnanimousInputsDecideInRoundOne) {
+  for (const int v : {0, 1}) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const RunResult res =
+          run_ben_or(seed, {v, v, v}, atomic_factory);
+      ASSERT_EQ(res.status, sim::RunStatus::kCompleted);
+      EXPECT_TRUE(res.out.all_decided());
+      EXPECT_TRUE(res.out.agreement());
+      for (const int d : res.out.decision) EXPECT_EQ(d, v);
+      for (const int r : res.out.decided_round) EXPECT_EQ(r, 1);
+      EXPECT_EQ(res.out.coin_flips, 0);
+    }
+  }
+}
+
+TEST(BenOr, MixedInputsSafeAndUsuallyTerminate) {
+  int decided_runs = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const RunResult res = run_ben_or(seed, {0, 1, 1}, atomic_factory);
+    ASSERT_EQ(res.status, sim::RunStatus::kCompleted);
+    EXPECT_TRUE(res.out.agreement()) << "seed=" << seed;
+    EXPECT_TRUE(res.out.validity({0, 1, 1})) << "seed=" << seed;
+    if (res.out.all_decided()) ++decided_runs;
+  }
+  // Fair random schedulers terminate almost always well before the cap.
+  EXPECT_GT(decided_runs, 35);
+}
+
+TEST(BenOr, ValidityBindsForBothValues) {
+  // 0,0,1: a decision for 1 is legal (it was an input); a decision for a
+  // non-input value never happens — run with all-0 inputs and assert 0.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const RunResult res = run_ben_or(seed, {0, 0, 0}, atomic_factory);
+    ASSERT_EQ(res.status, sim::RunStatus::kCompleted);
+    for (const int d : res.out.decision) EXPECT_EQ(d, 0);
+  }
+}
+
+class BenOrOverImplementations
+    : public ::testing::TestWithParam<std::tuple<int /*impl*/, int /*seed*/>> {
+};
+
+TEST_P(BenOrOverImplementations, SafetyIsImplementationIndependent) {
+  const auto [impl, seed] = GetParam();
+  const std::vector<int> inputs = {0, 1, static_cast<int>(seed % 2)};
+  std::function<RegisterFactory(sim::World&)> mk;
+  switch (impl) {
+    case 0: mk = atomic_factory; break;
+    case 1: mk = [](sim::World& w) { return abd_factory(w, 1); }; break;
+    case 2: mk = [](sim::World& w) { return abd_factory(w, 2); }; break;
+    case 3: mk = [](sim::World& w) { return vitanyi_factory(w, 2); }; break;
+    default: FAIL();
+  }
+  const RunResult res = run_ben_or(static_cast<std::uint64_t>(seed), inputs,
+                                   mk, /*max_rounds=*/6,
+                                   /*max_steps=*/2000000);
+  // Termination is probabilistic (round cap may hit), but the run itself
+  // must complete and SAFETY must hold regardless of the implementation:
+  // linearizability preserves safety properties (Section 1).
+  ASSERT_EQ(res.status, sim::RunStatus::kCompleted)
+      << "impl=" << impl << " seed=" << seed;
+  EXPECT_TRUE(res.out.agreement()) << "impl=" << impl << " seed=" << seed;
+  EXPECT_TRUE(res.out.validity(inputs))
+      << "impl=" << impl << " seed=" << seed;
+}
+
+std::string impl_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  static const char* const names[] = {"atomic", "abd1", "abd2", "vitanyi2"};
+  return std::string(names[std::get<0>(info.param)]) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(ImplsAndSeeds, BenOrOverImplementations,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Range(0, 10)),
+                         impl_case_name);
+
+TEST(BenOr, GossipSpreadsDecisions) {
+  // Whenever anyone decides, everyone decides (gossip + quorum adoption):
+  // check across seeds that all_decided whenever any process decided.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const RunResult res = run_ben_or(seed, {1, 0, 0}, atomic_factory);
+    ASSERT_EQ(res.status, sim::RunStatus::kCompleted);
+    bool any = false;
+    for (const int d : res.out.decision) any = any || d >= 0;
+    if (any) {
+      EXPECT_TRUE(res.out.all_decided()) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(BenOrOutcome, Predicates) {
+  BenOrOutcome o;
+  o.decision = {1, 1, -1};
+  EXPECT_FALSE(o.all_decided());
+  EXPECT_TRUE(o.agreement());
+  o.decision = {1, 0, 1};
+  EXPECT_FALSE(o.agreement());
+  o.decision = {1, 1, 1};
+  EXPECT_TRUE(o.all_decided());
+  EXPECT_TRUE(o.validity({0, 1, 0}));
+  EXPECT_FALSE(o.validity({0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace blunt::programs

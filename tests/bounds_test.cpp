@@ -1,0 +1,112 @@
+// Unit tests for the Theorem 4.2 / Lemma 4.5 bound calculators — including
+// the exact instances the paper states.
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace blunt::core {
+namespace {
+
+TEST(Lemma45, DegenerateWhenKAtMostR) {
+  // k <= r: the adversary can overlap every iteration; Prob[X] bound is 0.
+  EXPECT_EQ(prob_x_lower_bound(1, 1, 3), Rational(0));
+  EXPECT_EQ(prob_x_lower_bound(2, 2, 3), Rational(0));
+  EXPECT_EQ(prob_x_lower_bound(2, 5, 4), Rational(0));
+}
+
+TEST(Lemma45, PaperInstanceAbd2Weakener) {
+  // ABD², weakener: k=2, r=1, n=3 => ((2-1)/2)^2 = 1/4.
+  EXPECT_EQ(prob_x_lower_bound(2, 1, 3), Rational(1, 4));
+}
+
+TEST(Lemma45, SingleProcessIsImmune) {
+  // n = 1: exponent 0, Prob[X] >= 1 regardless of k, r.
+  EXPECT_EQ(prob_x_lower_bound(1, 5, 1), Rational(1));
+  EXPECT_EQ(prob_x_lower_bound(7, 3, 1), Rational(1));
+}
+
+TEST(Lemma45, MonotoneInK) {
+  Rational prev(0);
+  for (int k = 1; k <= 64; k *= 2) {
+    const Rational cur = prob_x_lower_bound(k, 2, 4);
+    EXPECT_GE(cur, prev) << "k=" << k;
+    prev = cur;
+  }
+}
+
+TEST(Lemma45, AntitoneInNAndR) {
+  EXPECT_GE(prob_x_lower_bound(8, 2, 3), prob_x_lower_bound(8, 2, 5));
+  EXPECT_GE(prob_x_lower_bound(8, 1, 3), prob_x_lower_bound(8, 4, 3));
+}
+
+TEST(Theorem42, PaperInstanceAbd2Weakener) {
+  // Weakener over ABD²: Prob[O_a] = 1/2 bad, Prob[O] = 1 bad (Appendix A).
+  // Bound: 1/2 + (1 - 1/4) * (1 - 1/2) = 7/8 bad, i.e. termination >= 1/8.
+  const Rational bound =
+      theorem42_bound(2, 1, 3, Rational(1), Rational(1, 2));
+  EXPECT_EQ(bound, Rational(7, 8));
+  EXPECT_EQ(Rational(1) - bound, Rational(1, 8));
+}
+
+TEST(Theorem42, OriginalAbdGivesVacuousBound) {
+  // k=1 <= r=1: bound degenerates to Prob[O] — no guarantee, matching the
+  // zero-termination counter-example of Appendix A.2.
+  EXPECT_EQ(theorem42_bound(1, 1, 3, Rational(1), Rational(1, 2)),
+            Rational(1));
+}
+
+TEST(Theorem42, ApproachesAtomicAsKGrows) {
+  const Rational lin(1);
+  const Rational at(1, 2);
+  Rational prev(1);
+  for (int k = 2; k <= 1024; k *= 2) {
+    const Rational b = theorem42_bound(k, 1, 3, lin, at);
+    EXPECT_LE(b, prev);
+    EXPECT_GE(b, at);
+    prev = b;
+  }
+  // At k = 1024 the bound is within 1/2^8 of atomic.
+  EXPECT_LT(prev - at, Rational(1, 256));
+}
+
+TEST(Theorem42, EqualProbsCollapse) {
+  // Prob[O] == Prob[O_a]: the bound is exactly that probability for any k.
+  EXPECT_EQ(theorem42_bound(3, 1, 4, Rational(1, 3), Rational(1, 3)),
+            Rational(1, 3));
+}
+
+TEST(Theorem42, FloatMatchesExact) {
+  for (int k = 1; k <= 32; ++k) {
+    const double exact =
+        theorem42_bound(k, 2, 4, Rational(3, 4), Rational(1, 4)).to_double();
+    const double approx = theorem42_bound_f(k, 2, 4, 0.75, 0.25);
+    EXPECT_NEAR(exact, approx, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(KForFraction, FindsSmallestK) {
+  // fraction(k) = 1 - ((k-r)/k)^(n-1) must be <= eps at the returned k and
+  // > eps at k-1.
+  const int r = 1;
+  const int n = 3;
+  const double eps = 0.1;
+  const int k = k_for_fraction(eps, r, n);
+  auto fraction = [&](int kk) {
+    return 1.0 - std::pow(static_cast<double>(kk - r) / kk, n - 1);
+  };
+  EXPECT_LE(fraction(k), eps);
+  EXPECT_GT(fraction(k - 1), eps);
+}
+
+TEST(KForFraction, SingleProcessNeedsNoIterations) {
+  EXPECT_EQ(k_for_fraction(0.5, 3, 1), 1);
+}
+
+TEST(KForFraction, TighterEpsilonNeedsLargerK) {
+  EXPECT_GT(k_for_fraction(0.01, 2, 4), k_for_fraction(0.1, 2, 4));
+}
+
+}  // namespace
+}  // namespace blunt::core

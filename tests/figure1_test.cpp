@@ -1,0 +1,119 @@
+// Tests for the Figure 1 adversary (Appendix A.2): it forces the weakener's
+// bad outcome for BOTH coin values on the real ABD protocol, every resulting
+// execution is still linearizable (ABD's guarantee is not violated — the
+// adversary wins within linearizability), and the pair of executions refutes
+// strong linearizability of ABD while passing the tail-strong check w.r.t.
+// Π_ABD.
+#include "adversary/figure1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lin/check.hpp"
+#include "lin/history.hpp"
+#include "lin/strong.hpp"
+
+namespace blunt::adversary {
+namespace {
+
+TEST(Figure1, ForcesBadOutcomeForCoin0) {
+  const Figure1Run run = run_figure1(0);
+  EXPECT_EQ(run.outcome.coin, 0);
+  EXPECT_EQ(run.outcome.u1, sim::Value(std::int64_t{0}));
+  EXPECT_EQ(run.outcome.u2, sim::Value(std::int64_t{1}));
+  EXPECT_EQ(run.outcome.c, sim::Value(std::int64_t{0}));
+  EXPECT_TRUE(run.outcome.looped());
+}
+
+TEST(Figure1, ForcesBadOutcomeForCoin1) {
+  const Figure1Run run = run_figure1(1);
+  EXPECT_EQ(run.outcome.coin, 1);
+  EXPECT_EQ(run.outcome.u1, sim::Value(std::int64_t{1}));
+  EXPECT_EQ(run.outcome.u2, sim::Value(std::int64_t{0}));
+  EXPECT_EQ(run.outcome.c, sim::Value(std::int64_t{1}));
+  EXPECT_TRUE(run.outcome.looped());
+}
+
+TEST(Figure1, ExecutionsAreStillLinearizable) {
+  // The adversary exploits linearizable-but-not-atomic behavior; each
+  // execution on its own satisfies the register spec.
+  for (const int coin : {0, 1}) {
+    const Figure1Run run = run_figure1(coin);
+    const lin::History h = lin::History::from_world(*run.world);
+    lin::RegisterSpec spec_r;
+    lin::RegisterSpec spec_c{sim::Value(std::int64_t{-1})};
+    EXPECT_TRUE(
+        lin::check_linearizable(h.project_object(run.r_object_id), spec_r)
+            .linearizable)
+        << "coin=" << coin;
+    EXPECT_TRUE(
+        lin::check_linearizable(h.project_object(run.c_object_id), spec_c)
+            .linearizable)
+        << "coin=" << coin;
+  }
+}
+
+TEST(Figure1, SchedulesShareThePreCoinPrefix) {
+  // A strong adversary's schedule may depend only on past coins: the two
+  // runs' traces must be identical up to (and including) the coin step.
+  const Figure1Run a = run_figure1(0);
+  const Figure1Run b = run_figure1(1);
+  const auto& ta = a.world->trace().entries();
+  const auto& tb = b.world->trace().entries();
+  std::size_t i = 0;
+  for (; i < std::min(ta.size(), tb.size()); ++i) {
+    std::ostringstream osa, osb;
+    osa << ta[i];
+    osb << tb[i];
+    if (osa.str() != osb.str()) break;
+  }
+  // The first divergence is the coin value itself.
+  ASSERT_LT(i, std::min(ta.size(), tb.size()));
+  EXPECT_EQ(ta[i].kind, sim::StepKind::kRandom);
+  EXPECT_NE(ta[i].value, tb[i].value);
+}
+
+TEST(Figure1, PairRefutesStrongLinearizabilityOfAbd) {
+  // The two executions' R-projections merged into a prefix tree: no
+  // prefix-preserving linearization exists (ABD is not strongly
+  // linearizable — Section 5.1's premise), yet with Π_ABD the offending
+  // shared prefixes are not Π-complete and the tail-strong check passes
+  // (Theorem 5.1's claim, on these executions).
+  const Figure1Run a = run_figure1(0);
+  const Figure1Run b = run_figure1(1);
+  const lin::History ha =
+      lin::History::from_world(*a.world).project_object(a.r_object_id);
+  const lin::History hb =
+      lin::History::from_world(*b.world).project_object(b.r_object_id);
+
+  lin::RegisterSpec spec;
+  const std::vector<lin::PrefixTree::TracedExecution> execs = {
+      {&ha, &a.world->trace()}, {&hb, &b.world->trace()}};
+  const lin::PrefixTree t0 =
+      lin::PrefixTree::merge_traced(execs, lin::PreambleMapping::trivial());
+  EXPECT_FALSE(lin::check_prefix_tree(t0, spec).ok);
+
+  const lin::PreambleMapping pi = a.r->preamble_mapping();
+  const lin::PrefixTree t1 = lin::PrefixTree::merge_traced(execs, pi);
+  const auto res = lin::check_prefix_tree(t1, spec);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(Figure1, PerExecutionChainsAreTailStronglyLinearizable) {
+  for (const int coin : {0, 1}) {
+    const Figure1Run run = run_figure1(coin);
+    const lin::History h =
+        lin::History::from_world(*run.world).project_object(run.r_object_id);
+    lin::RegisterSpec spec;
+    // Even the trivial-preamble chain of a SINGLE execution passes (the
+    // violation needs both branches); and so does the Π_ABD chain.
+    EXPECT_TRUE(
+        lin::check_prefix_chain(h, spec, lin::PreambleMapping::trivial()).ok)
+        << "coin=" << coin;
+    EXPECT_TRUE(
+        lin::check_prefix_chain(h, spec, run.r->preamble_mapping()).ok)
+        << "coin=" << coin;
+  }
+}
+
+}  // namespace
+}  // namespace blunt::adversary

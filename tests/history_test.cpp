@@ -1,0 +1,116 @@
+// Unit tests for histories: extraction, projection, prefixes, precedence.
+#include "lin/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include "objects/atomic.hpp"
+#include "sim/adversaries.hpp"
+#include "test_util.hpp"
+
+namespace blunt::lin {
+namespace {
+
+TEST(History, PrecedenceFromPositions) {
+  test::HistoryBuilder hb;
+  hb.write(0, 1, /*call=*/0, /*ret=*/5);
+  hb.read(1, 1, /*call=*/10, /*ret=*/12);
+  hb.read(2, 1, /*call=*/4, /*ret=*/20);  // overlaps the write
+  const History h = hb.build();
+  // Ops are sorted by call position: [write(0..5), read(4..20), read(10..12)].
+  EXPECT_EQ(h.op(1).call_pos, 4);
+  EXPECT_TRUE(h.precedes(0, 2));   // write returned before the late read
+  EXPECT_FALSE(h.precedes(0, 1));  // overlaps the early read
+  EXPECT_FALSE(h.precedes(2, 0));
+  EXPECT_FALSE(h.precedes(1, 2));  // the early read returns after call of op2
+}
+
+TEST(History, OpsSortedByCallPosition) {
+  test::HistoryBuilder hb;
+  hb.read(0, 1, /*call=*/50, /*ret=*/60);
+  hb.write(1, 1, /*call=*/2, /*ret=*/4);
+  const History h = hb.build();
+  EXPECT_EQ(h.op(0).method, "Write");
+  EXPECT_EQ(h.op(1).method, "Read");
+}
+
+TEST(History, PrefixTruncatesReturnsAndLinePasses) {
+  test::HistoryBuilder hb;
+  hb.write(0, 1, /*call=*/0, /*ret=*/10);
+  hb.passed(22, 6);
+  hb.read(1, 1, /*call=*/20, /*ret=*/30);
+  const History h = hb.build();
+
+  const History p5 = h.prefix(5);
+  ASSERT_EQ(p5.size(), 1);
+  EXPECT_TRUE(p5.op(0).pending());
+  EXPECT_TRUE(p5.op(0).line_passes.empty());
+
+  const History p8 = h.prefix(8);
+  ASSERT_EQ(p8.size(), 1);
+  EXPECT_TRUE(p8.op(0).pending());
+  ASSERT_EQ(p8.op(0).line_passes.size(), 1u);
+
+  const History p15 = h.prefix(15);
+  ASSERT_EQ(p15.size(), 1);
+  EXPECT_FALSE(p15.op(0).pending());
+
+  const History all = h.prefix(100);
+  EXPECT_EQ(all.size(), 2);
+}
+
+TEST(History, ProjectObjectFilters) {
+  test::HistoryBuilder hb("a");
+  hb.write(0, 1, 0, 1);
+  std::vector<Operation> ops = hb.build().ops();
+  Operation other = ops[0];
+  other.id = 7;
+  other.object_id = 1;
+  other.object_name = "b";
+  ops.push_back(other);
+  const History h{ops};
+  EXPECT_EQ(h.size(), 2);
+  EXPECT_EQ(h.project_object(0).size(), 1);
+  EXPECT_EQ(h.project_object(1).size(), 1);
+  EXPECT_EQ(h.project_object(1).op(0).object_name, "b");
+}
+
+TEST(History, FindById) {
+  test::HistoryBuilder hb;
+  const InvocationId a = hb.write(0, 1, 0, 1);
+  const InvocationId b = hb.read(1, 1, 2, 3);
+  const History h = hb.build();
+  ASSERT_NE(h.find(a), nullptr);
+  EXPECT_EQ(h.find(a)->method, "Write");
+  ASSERT_NE(h.find(b), nullptr);
+  EXPECT_EQ(h.find(b)->method, "Read");
+  EXPECT_EQ(h.find(99), nullptr);
+}
+
+TEST(History, FromWorldCapturesAtomicOps) {
+  auto w = test::make_world();
+  objects::AtomicRegister reg("R", *w, sim::Value{});
+  w->add_process("p", [&reg](sim::Proc p) -> sim::Task<void> {
+    co_await reg.write(p, sim::Value(std::int64_t{3}));
+    (void)co_await reg.read(p);
+  });
+  sim::FirstEnabledAdversary adv;
+  ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+  const History h = History::from_world(*w);
+  ASSERT_EQ(h.size(), 2);
+  EXPECT_EQ(h.op(0).method, "Write");
+  EXPECT_EQ(h.op(1).method, "Read");
+  EXPECT_EQ(*h.op(1).result, sim::Value(std::int64_t{3}));
+  EXPECT_TRUE(h.precedes(0, 1));
+}
+
+TEST(History, DescribeMentionsPidAndValues) {
+  test::HistoryBuilder hb;
+  hb.read(2, 7, 0, 4);
+  const std::string d = hb.build().op(0).describe();
+  EXPECT_NE(d.find("Read"), std::string::npos);
+  EXPECT_NE(d.find("p2"), std::string::npos);
+  EXPECT_NE(d.find("7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blunt::lin

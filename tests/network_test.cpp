@@ -1,0 +1,148 @@
+// Unit tests for the message-passing substrate: delivery choice, reordering,
+// handler execution, broadcast, crash semantics.
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/adversaries.hpp"
+#include "sim/coin.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::net {
+namespace {
+
+struct Msg {
+  int tag = 0;
+  [[nodiscard]] std::string summary() const {
+    return "msg" + std::to_string(tag);
+  }
+};
+
+TEST(Network, SendEnqueuesDeliverRuns) {
+  Network<Msg> net("n", 2, nullptr);
+  std::vector<int> got;
+  net.set_handler(1, [&got](Pid, Pid, const Msg& m) { got.push_back(m.tag); });
+  net.send(0, 1, {7});
+  EXPECT_EQ(net.in_transit_count(), 1);
+  std::vector<sim::PendingDelivery> pending;
+  net.enumerate(pending);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].to, 1);
+  net.deliver(pending[0].msg_id);
+  EXPECT_EQ(got, std::vector<int>{7});
+  EXPECT_EQ(net.in_transit_count(), 0);
+}
+
+TEST(Network, AdversaryMayReorder) {
+  Network<Msg> net("n", 2, nullptr);
+  std::vector<int> got;
+  net.set_handler(1, [&got](Pid, Pid, const Msg& m) { got.push_back(m.tag); });
+  net.send(0, 1, {1});
+  net.send(0, 1, {2});
+  net.send(0, 1, {3});
+  std::vector<sim::PendingDelivery> pending;
+  net.enumerate(pending);
+  ASSERT_EQ(pending.size(), 3u);
+  // Deliver in reverse.
+  net.deliver(pending[2].msg_id);
+  net.deliver(pending[1].msg_id);
+  net.deliver(pending[0].msg_id);
+  EXPECT_EQ(got, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(Network, BroadcastIncludesSelf) {
+  Network<Msg> net("n", 3, nullptr);
+  std::vector<Pid> recipients;
+  for (Pid p = 0; p < 3; ++p) {
+    net.set_handler(p, [&recipients](Pid to, Pid, const Msg&) {
+      recipients.push_back(to);
+    });
+  }
+  net.broadcast(1, {5});
+  EXPECT_EQ(net.in_transit_count(), 3);
+  std::vector<sim::PendingDelivery> pending;
+  net.enumerate(pending);
+  for (const auto& d : pending) net.deliver(d.msg_id);
+  EXPECT_EQ(recipients, (std::vector<Pid>{0, 1, 2}));
+}
+
+TEST(Network, HandlerMaySendMore) {
+  // Ping-pong: p1's handler replies to p0.
+  Network<Msg> net("n", 2, nullptr);
+  int p0_got = 0;
+  net.set_handler(0, [&p0_got](Pid, Pid, const Msg& m) { p0_got = m.tag; });
+  net.set_handler(1, [&net](Pid to, Pid from, const Msg& m) {
+    net.send(to, from, {m.tag + 1});
+  });
+  net.send(0, 1, {10});
+  std::vector<sim::PendingDelivery> pending;
+  net.enumerate(pending);
+  net.deliver(pending[0].msg_id);
+  EXPECT_EQ(net.in_transit_count(), 1);  // the reply
+  pending.clear();
+  net.enumerate(pending);
+  net.deliver(pending[0].msg_id);
+  EXPECT_EQ(p0_got, 11);
+}
+
+TEST(Network, CrashDropsInTransitAndFuture) {
+  Network<Msg> net("n", 2, nullptr);
+  net.set_handler(1, [](Pid, Pid, const Msg&) { FAIL() << "delivered"; });
+  net.send(0, 1, {1});
+  net.on_crash(1);
+  EXPECT_EQ(net.in_transit_count(), 0);
+  net.send(0, 1, {2});  // dropped silently
+  EXPECT_EQ(net.in_transit_count(), 0);
+}
+
+TEST(Network, CrashedSendersMessagesSurvive) {
+  Network<Msg> net("n", 2, nullptr);
+  int got = 0;
+  net.set_handler(1, [&got](Pid, Pid, const Msg& m) { got = m.tag; });
+  net.send(0, 1, {9});
+  net.on_crash(0);  // sender crashes; its message is already in flight
+  std::vector<sim::PendingDelivery> pending;
+  net.enumerate(pending);
+  ASSERT_EQ(pending.size(), 1u);
+  net.deliver(pending[0].msg_id);
+  EXPECT_EQ(got, 9);
+}
+
+TEST(Network, CountersTrackTraffic) {
+  Network<Msg> net("n", 3, nullptr);
+  for (Pid p = 0; p < 3; ++p) net.set_handler(p, [](Pid, Pid, const Msg&) {});
+  net.broadcast(0, {1});
+  EXPECT_EQ(net.messages_sent(), 3);
+  std::vector<sim::PendingDelivery> pending;
+  net.enumerate(pending);
+  net.deliver(pending[0].msg_id);
+  EXPECT_EQ(net.messages_delivered(), 1);
+}
+
+TEST(Network, WorldIntegrationDeliveriesAreEvents) {
+  sim::World w(sim::Config{}, std::make_unique<sim::SeededCoin>(1));
+  Network<Msg> net("n", 2, &w.trace_mutable());
+  int got = 0;
+  net.set_handler(0, [](Pid, Pid, const Msg&) {});
+  net.set_handler(1, [&got](Pid, Pid, const Msg& m) { got = m.tag; });
+  w.attach(net);
+  w.add_process("sender", [&net](sim::Proc p) -> sim::Task<void> {
+    co_await p.yield(sim::StepKind::kSend, "send");
+    net.send(p.pid(), 1, {3});
+  });
+  w.add_process("receiver", [](sim::Proc) -> sim::Task<void> { co_return; });
+  sim::FirstEnabledAdversary adv;
+  EXPECT_EQ(w.run(adv).status, sim::RunStatus::kCompleted);
+  // The send happened but delivery may still be pending once processes are
+  // done; drive it manually if needed.
+  auto events = w.enabled_events();
+  for (const auto& e : events) {
+    if (e.kind == sim::Event::Kind::kDeliver) w.execute(e);
+  }
+  EXPECT_EQ(got, 3);
+}
+
+}  // namespace
+}  // namespace blunt::net

@@ -1,0 +1,88 @@
+// Unit tests for exact rational arithmetic.
+#include "common/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace blunt {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, NormalizesSign) {
+  const Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_EQ((-r).num(), 1);
+}
+
+TEST(Rational, ZeroHasCanonicalForm) {
+  const Rational r(0, 17);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+}
+
+TEST(Rational, PaperFractions) {
+  // Appendix A quantities: 1/2 (atomic), 1/8 = 1/4 * 1/2 (ABD² generic
+  // bound), 3/8 = 1 − 5/8 (refined bound).
+  EXPECT_EQ(Rational(1, 4) * Rational(1, 2), Rational(1, 8));
+  EXPECT_EQ(Rational(1) - Rational(5, 8), Rational(3, 8));
+  EXPECT_EQ((Rational(1, 2) + Rational(3, 4)) / Rational(2), Rational(5, 8));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(5, 8), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, Pow) {
+  EXPECT_EQ(Rational(1, 2).pow(3), Rational(1, 8));
+  EXPECT_EQ(Rational(2, 3).pow(0), Rational(1));
+  EXPECT_EQ(Rational(0).pow(2), Rational(0));
+}
+
+TEST(Rational, ClampNonneg) {
+  EXPECT_EQ(Rational(-1, 2).clamp_nonneg(), Rational(0));
+  EXPECT_EQ(Rational(1, 2).clamp_nonneg(), Rational(1, 2));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(3, 8).to_double(), 0.375);
+}
+
+TEST(Rational, Printing) {
+  std::ostringstream os;
+  os << Rational(3, 8) << ' ' << Rational(2) << ' ' << Rational(-1, 2);
+  EXPECT_EQ(os.str(), "3/8 2 -1/2");
+}
+
+TEST(Rational, CrossReductionAvoidsOverflow) {
+  // (2^40 / 3) * (3 / 2^40) must not overflow intermediates.
+  const std::int64_t big = std::int64_t{1} << 40;
+  EXPECT_EQ(Rational(big, 3) * Rational(3, big), Rational(1));
+}
+
+}  // namespace
+}  // namespace blunt

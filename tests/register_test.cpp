@@ -1,0 +1,160 @@
+// Unit tests for the shared-memory base registers (mem): one-step atomicity,
+// access control, arrays, and typed registers.
+#include "mem/base_register.hpp"
+#include "mem/typed_register.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/adversaries.hpp"
+#include "sim/coin.hpp"
+
+namespace blunt::mem {
+namespace {
+
+sim::World make_world() {
+  return sim::World(sim::Config{}, std::make_unique<sim::SeededCoin>(1));
+}
+
+TEST(BaseRegister, ReadAfterWrite) {
+  auto w = make_world();
+  BaseRegister reg("r", sim::Value{});
+  sim::Value got;
+  w.add_process("p", [&](sim::Proc p) -> sim::Task<void> {
+    co_await reg.write(p, sim::Value(std::int64_t{5}));
+    got = co_await reg.read(p);
+  });
+  sim::FirstEnabledAdversary adv;
+  EXPECT_EQ(w.run(adv).status, sim::RunStatus::kCompleted);
+  EXPECT_EQ(got, sim::Value(std::int64_t{5}));
+  EXPECT_EQ(reg.reads(), 1);
+  EXPECT_EQ(reg.writes(), 1);
+}
+
+TEST(BaseRegister, InitialValueIsBottom) {
+  auto w = make_world();
+  BaseRegister reg("r", sim::Value{});
+  sim::Value got{std::int64_t{99}};
+  w.add_process("p", [&](sim::Proc p) -> sim::Task<void> {
+    got = co_await reg.read(p);
+  });
+  sim::FirstEnabledAdversary adv;
+  EXPECT_EQ(w.run(adv).status, sim::RunStatus::kCompleted);
+  EXPECT_TRUE(sim::is_bottom(got));
+}
+
+TEST(BaseRegister, EachAccessIsOneSchedulerStep) {
+  auto w = make_world();
+  BaseRegister reg("r", sim::Value{});
+  w.add_process("p", [&](sim::Proc p) -> sim::Task<void> {
+    co_await reg.write(p, sim::Value(std::int64_t{1}));
+    (void)co_await reg.read(p);
+  });
+  sim::FirstEnabledAdversary adv;
+  const auto r = w.run(adv);
+  EXPECT_EQ(r.status, sim::RunStatus::kCompleted);
+  EXPECT_EQ(r.steps, 3);  // start + write + read
+}
+
+TEST(BaseRegister, InterleavingDecidesValue) {
+  // Writer and reader race; the adversary decides which value the reader
+  // sees.
+  auto run_with = [](std::vector<std::size_t> script) {
+    auto w = std::make_unique<sim::World>(
+        sim::Config{}, std::make_unique<sim::SeededCoin>(1));
+    auto reg = std::make_unique<BaseRegister>("r", sim::Value{});
+    sim::Value got;
+    w->add_process("writer", [&reg](sim::Proc p) -> sim::Task<void> {
+      co_await reg->write(p, sim::Value(std::int64_t{1}));
+    });
+    w->add_process("reader", [&reg, &got](sim::Proc p) -> sim::Task<void> {
+      got = co_await reg->read(p);
+    });
+    sim::ReplayAdversary adv(std::move(script));
+    EXPECT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+    return got;
+  };
+  // Writer completes first (start twice: p0 start, p0 write), then reader.
+  EXPECT_EQ(run_with({0, 0, 0, 0}), sim::Value(std::int64_t{1}));
+  // Reader goes first.
+  EXPECT_TRUE(sim::is_bottom(run_with({1, 1, 0, 0})));
+}
+
+TEST(RegisterArray, IndependentCells) {
+  auto w = make_world();
+  RegisterArray arr("m", 3, sim::Value(std::int64_t{0}));
+  std::vector<std::int64_t> got(3);
+  w.add_process("p", [&](sim::Proc p) -> sim::Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await arr.at(i).write(p, sim::Value(std::int64_t{i * 10}));
+    }
+    for (int i = 0; i < 3; ++i) {
+      got[static_cast<std::size_t>(i)] =
+          sim::as_int(co_await arr.at(i).read(p));
+    }
+  });
+  sim::FirstEnabledAdversary adv;
+  EXPECT_EQ(w.run(adv).status, sim::RunStatus::kCompleted);
+  EXPECT_EQ(got, (std::vector<std::int64_t>{0, 10, 20}));
+}
+
+struct TestCell {
+  int a = 0;
+  int b = 0;
+  [[nodiscard]] std::string summary() const {
+    return "(" + std::to_string(a) + "," + std::to_string(b) + ")";
+  }
+};
+
+TEST(TypedRegister, RoundTripsStructuredCells) {
+  auto w = make_world();
+  TypedRegister<TestCell> reg("t", TestCell{1, 2});
+  TestCell got;
+  w.add_process("p", [&](sim::Proc p) -> sim::Task<void> {
+    TestCell before = co_await reg.read(p);
+    EXPECT_EQ(before.a, 1);
+    co_await reg.write(p, TestCell{3, 4});
+    got = co_await reg.read(p);
+  });
+  sim::FirstEnabledAdversary adv;
+  EXPECT_EQ(w.run(adv).status, sim::RunStatus::kCompleted);
+  EXPECT_EQ(got.a, 3);
+  EXPECT_EQ(got.b, 4);
+  EXPECT_EQ(reg.peek().a, 3);
+}
+
+using RegisterDeathTest = ::testing::Test;
+
+TEST(RegisterDeathTest, SingleWriterEnforced) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto body = [] {
+    auto w = make_world();
+    BaseRegister reg("sw", sim::Value{}, /*writers=*/{0}, /*readers=*/{});
+    w.add_process("p0", [](sim::Proc) -> sim::Task<void> { co_return; });
+    w.add_process("p1", [&reg](sim::Proc p) -> sim::Task<void> {
+      co_await reg.write(p, sim::Value(std::int64_t{1}));
+    });
+    sim::FirstEnabledAdversary adv;
+    (void)w.run(adv);
+  };
+  EXPECT_DEATH(body(), "may not write");
+}
+
+TEST(RegisterDeathTest, SingleReaderEnforced) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto body = [] {
+    auto w = make_world();
+    BaseRegister reg("sr", sim::Value{}, /*writers=*/{}, /*readers=*/{0});
+    w.add_process("p0", [](sim::Proc) -> sim::Task<void> { co_return; });
+    w.add_process("p1", [&reg](sim::Proc p) -> sim::Task<void> {
+      (void)co_await reg.read(p);
+    });
+    sim::FirstEnabledAdversary adv;
+    (void)w.run(adv);
+  };
+  EXPECT_DEATH(body(), "may not read");
+}
+
+}  // namespace
+}  // namespace blunt::mem

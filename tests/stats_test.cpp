@@ -1,0 +1,63 @@
+// Unit tests for the Monte-Carlo statistics helpers.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace blunt {
+namespace {
+
+TEST(WilsonInterval, EmptyIsFullRange) {
+  const Interval iv = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(iv.lo, 0.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 1.0);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  const Interval iv = wilson_interval(40, 100);
+  EXPECT_LT(iv.lo, 0.4);
+  EXPECT_GT(iv.hi, 0.4);
+  EXPECT_GE(iv.lo, 0.0);
+  EXPECT_LE(iv.hi, 1.0);
+}
+
+TEST(WilsonInterval, ShrinksWithSamples) {
+  const Interval small = wilson_interval(50, 100);
+  const Interval large = wilson_interval(5000, 10000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(WilsonInterval, ExtremesStayInBounds) {
+  const Interval all = wilson_interval(100, 100);
+  EXPECT_LE(all.hi, 1.0);
+  EXPECT_GT(all.lo, 0.9);
+  const Interval none = wilson_interval(0, 100);
+  EXPECT_GE(none.lo, 0.0);
+  EXPECT_LT(none.hi, 0.1);
+}
+
+TEST(BernoulliEstimator, TracksCounts) {
+  BernoulliEstimator est;
+  for (int i = 0; i < 10; ++i) est.add(i < 3);
+  EXPECT_EQ(est.trials(), 10);
+  EXPECT_EQ(est.successes(), 3);
+  EXPECT_DOUBLE_EQ(est.mean(), 0.3);
+}
+
+TEST(BernoulliEstimator, EmptyMeanIsZero) {
+  BernoulliEstimator est;
+  EXPECT_DOUBLE_EQ(est.mean(), 0.0);
+}
+
+TEST(RunningStats, TracksMinMeanMax) {
+  RunningStats s;
+  s.add(2.0);
+  s.add(4.0);
+  s.add(9.0);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+}  // namespace
+}  // namespace blunt

@@ -1,0 +1,327 @@
+// Strong-linearizability refutations on REAL executions of the Israeli–Li
+// register (Section 5.4: "not strongly linearizable, ... mimicking the
+// counter-example for the ABD register") and the Afek et al. snapshot
+// (Section 6 / Golab–Higham–Woelfel's borrowed-view example), plus the
+// tail-strong rescue w.r.t. each object's preamble mapping (Theorem-5.1-style
+// claims of Sections 5.2/5.4).
+//
+// Shape of both refutations: two schedules share a prefix in which the
+// writes' linearization order is already fixed (they returned) while a read/
+// scan is pending mid-collect; the branches resolve the pending operation to
+// the OLD value or the NEW value. Any prefix-preserving f must either commit
+// the old value in the shared prefix (contradicting the new-value branch) or
+// not (the old-value branch then cannot insert it before the committed
+// write). Under the object's preamble mapping Π, the shared prefixes with
+// the collect un-finished are not Π-complete, and the check passes.
+#include <gtest/gtest.h>
+
+#include "adversary/scripted.hpp"
+#include "lin/check.hpp"
+#include "lin/history.hpp"
+#include "lin/strong.hpp"
+#include "objects/abd.hpp"
+#include "objects/israeli_li.hpp"
+#include "objects/snapshot.hpp"
+#include "test_util.hpp"
+
+namespace blunt {
+namespace {
+
+// Appends `n` resumes of `pid` (empty label: the process's next step,
+// whatever it is — the schedules below are fully deterministic).
+void times(adversary::ScriptedAdversary& s, Pid pid, int n,
+           const std::string& what) {
+  for (int i = 0; i < n; ++i) s.step(what, adversary::resume(pid, ""));
+}
+
+// ---------------- Israeli–Li ----------------
+//
+// Readers: p0 (the pending read Rx), p1 (helper read Ra). Writer: p2 writes
+// 1 then 2. The shared prefix parks Rx after Val[0] (= value 1) and before
+// the Report[1][0] read, with both writes completed and Ra parked before its
+// report-row writes. Branch "new": Ra's row write lands first, Rx sees
+// (2, seq2) and returns 2. Branch "old": Rx reads the stale report first and
+// returns 1.
+struct IlRun {
+  std::unique_ptr<sim::World> world;
+  std::shared_ptr<objects::IsraeliLiRegister> reg;
+  sim::Value x0, x1;
+};
+
+IlRun run_il(bool new_value_branch) {
+  IlRun run;
+  run.world = test::make_world(1);
+  run.reg = std::make_shared<objects::IsraeliLiRegister>(
+      "R", *run.world,
+      objects::IsraeliLiRegister::Options{.num_readers = 2, .writer = 2});
+  auto reg = run.reg;
+  run.world->add_process("rx", [reg, &run](sim::Proc p) -> sim::Task<void> {
+    run.x0 = co_await reg->read(p);
+  });
+  run.world->add_process("ra", [reg, &run](sim::Proc p) -> sim::Task<void> {
+    run.x1 = co_await reg->read(p);
+  });
+  run.world->add_process("w", [reg](sim::Proc p) -> sim::Task<void> {
+    co_await reg->write(p, sim::Value(std::int64_t{1}));
+    co_await reg->write(p, sim::Value(std::int64_t{2}));
+  });
+
+  adversary::ScriptedAdversary adv;
+  // Prefix: write(1) completes (start + 2 cell writes)...
+  times(adv, 2, 3, "w: Write(1)");
+  // ...Rx collects Val[0] = (1, seq1) and its own report, parks before
+  // Report[1][0]...
+  times(adv, 0, 3, "rx: partial collect");
+  // ...write(2) completes...
+  times(adv, 2, 2, "w: Write(2)");
+  // ...Ra collects (sees 2) and parks before its report-row writes.
+  times(adv, 1, 4, "ra: collect");
+  if (new_value_branch) {
+    times(adv, 1, 2, "ra: report row writes; Ra returns 2");
+    times(adv, 0, 3, "rx: reads fresh report, returns 2");
+  } else {
+    times(adv, 0, 3, "rx: reads stale report, returns 1");
+    times(adv, 1, 2, "ra: report row writes");
+  }
+  const sim::RunResult res = run.world->run(adv);
+  EXPECT_EQ(res.status, sim::RunStatus::kCompleted);
+  return run;
+}
+
+TEST(IsraeliLiRefutation, BranchesResolveOldAndNew) {
+  const IlRun nb = run_il(true);
+  EXPECT_EQ(nb.x0, sim::Value(std::int64_t{2}));
+  EXPECT_EQ(nb.x1, sim::Value(std::int64_t{2}));
+  const IlRun ob = run_il(false);
+  EXPECT_EQ(ob.x0, sim::Value(std::int64_t{1}));
+  EXPECT_EQ(ob.x1, sim::Value(std::int64_t{2}));
+}
+
+TEST(IsraeliLiRefutation, PairRefutesStrongLinButPassesTailStrong) {
+  const IlRun a = run_il(true);
+  const IlRun b = run_il(false);
+  const lin::History ha = lin::History::from_world(*a.world);
+  const lin::History hb = lin::History::from_world(*b.world);
+  lin::RegisterSpec spec;
+  // Each execution alone is linearizable (IL's guarantee).
+  EXPECT_TRUE(lin::check_linearizable(ha, spec).linearizable);
+  EXPECT_TRUE(lin::check_linearizable(hb, spec).linearizable);
+  // Together they refute strong linearizability...
+  const std::vector<lin::PrefixTree::TracedExecution> execs = {
+      {&ha, &a.world->trace()}, {&hb, &b.world->trace()}};
+  const lin::PrefixTree t0 =
+      lin::PrefixTree::merge_traced(execs, lin::PreambleMapping::trivial());
+  EXPECT_FALSE(lin::check_prefix_tree(t0, spec).ok);
+  // ...and pass the tail-strong check w.r.t. Π_IL (Section 5.4).
+  const lin::PrefixTree t1 =
+      lin::PrefixTree::merge_traced(execs, a.reg->preamble_mapping());
+  const auto res = lin::check_prefix_tree(t1, spec);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+// ---------------- Afek snapshot ----------------
+//
+// p0: Update(5) on segment 0. p1: Update(1) then Update(2) on segment 1.
+// p2: one Scan (Sx). The prefix arranges: Sx's first collect sees all-zero;
+// p1's first update lands (Sx's second collect observes one move of p1);
+// p1's SECOND update finishes its embedded scan — capturing the view
+// [0,1,0], i.e. BEFORE p0's update — and parks just before its cell write;
+// p0's update completes (segment 0 = 5). Branch "borrow": p1's write lands,
+// Sx's third collect sees p1 move a second time and returns the BORROWED
+// embedded view [0,1,0] — placing Sx before the already-completed Update(5).
+// Branch "direct": Sx double-collects [5,1,0] first.
+struct SnapRun {
+  std::unique_ptr<sim::World> world;
+  std::shared_ptr<objects::AfekSnapshot> snap;
+  std::vector<std::int64_t> view;
+};
+
+SnapRun run_snapshot(bool borrow_branch) {
+  SnapRun run;
+  run.world = test::make_world(1);
+  run.snap = std::make_shared<objects::AfekSnapshot>(
+      "S", *run.world, objects::AfekSnapshot::Options{.num_processes = 3});
+  auto snap = run.snap;
+  run.world->add_process("ua", [snap](sim::Proc p) -> sim::Task<void> {
+    co_await snap->update(p, 5);
+  });
+  run.world->add_process("q", [snap](sim::Proc p) -> sim::Task<void> {
+    co_await snap->update(p, 1);
+    co_await snap->update(p, 2);
+  });
+  run.world->add_process("sx", [snap, &run](sim::Proc p) -> sim::Task<void> {
+    run.view = co_await snap->scan(p);
+  });
+
+  adversary::ScriptedAdversary adv;
+  // Sx's first collect (all zero), parked at its second collect's M[0] read.
+  times(adv, 2, 4, "sx: collect 1");
+  // q's Update(1): embedded scan (2 clean collects) + write; then its
+  // Update(2) begins and parks at ITS embedded scan.
+  times(adv, 1, 8, "q: Update(1)");
+  // Sx's second collect: sees q's first move; parks at collect 3.
+  times(adv, 2, 3, "sx: collect 2");
+  // q's Update(2) embedded scan completes (captures view [0,1,0]); q parks
+  // just before its cell write.
+  times(adv, 1, 6, "q: Update(2) embedded scan");
+  // p0's Update(5) completes fully (embedded scan + write).
+  times(adv, 0, 8, "ua: Update(5)");
+  if (borrow_branch) {
+    times(adv, 1, 1, "q: Update(2) write lands");
+    // Sx collect 3 observes q's second move -> borrowed view [0,1,0].
+    times(adv, 2, 3, "sx: collect 3 borrows");
+  } else {
+    // Sx: collect 3 sees [5,1,-]; mismatch vs collect 2 on segment 0;
+    // collect 4 stable -> returns [5,1,0].
+    times(adv, 2, 6, "sx: collects 3+4 direct");
+    times(adv, 1, 1, "q: Update(2) write lands");
+  }
+  const sim::RunResult res = run.world->run(adv);
+  EXPECT_EQ(res.status, sim::RunStatus::kCompleted);
+  return run;
+}
+
+TEST(SnapshotRefutation, BranchesResolveBorrowedAndDirectViews) {
+  const SnapRun borrow = run_snapshot(true);
+  EXPECT_EQ(borrow.view, (std::vector<std::int64_t>{0, 1, 0}));
+  const SnapRun direct = run_snapshot(false);
+  EXPECT_EQ(direct.view, (std::vector<std::int64_t>{5, 1, 0}));
+}
+
+TEST(SnapshotRefutation, PairRefutesStrongLinButPassesTailStrong) {
+  const SnapRun a = run_snapshot(true);
+  const SnapRun b = run_snapshot(false);
+  const lin::History ha = lin::History::from_world(*a.world);
+  const lin::History hb = lin::History::from_world(*b.world);
+  lin::SnapshotSpec spec(3);
+  EXPECT_TRUE(lin::check_linearizable(ha, spec).linearizable)
+      << ha.to_string();
+  EXPECT_TRUE(lin::check_linearizable(hb, spec).linearizable)
+      << hb.to_string();
+  const std::vector<lin::PrefixTree::TracedExecution> execs = {
+      {&ha, &a.world->trace()}, {&hb, &b.world->trace()}};
+  const lin::PrefixTree t0 =
+      lin::PrefixTree::merge_traced(execs, lin::PreambleMapping::trivial());
+  EXPECT_FALSE(lin::check_prefix_tree(t0, spec).ok);
+  const lin::PrefixTree t1 =
+      lin::PrefixTree::merge_traced(execs, a.snap->preamble_mapping());
+  const auto res = lin::check_prefix_tree(t1, spec);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+// ---------------- single-writer ABD ----------------
+//
+// Section 5.1's closing remark: the tail-strong result "holds also for the
+// original single-writer version [3], which is also not strongly
+// linearizable [8, 14]". The refutation: the writer (p2) completes Write(1)
+// then Write(2); the reader's query is held at one (⊥) reply with a STALE
+// reply (1,(1,2)) from p1 — generated before p1 processed Write(2) — and a
+// FRESH reply (2,(2,2)) from p2 both in transit. The branch delivering the
+// stale reply makes the read return 1, which any prefix-preserving f must
+// have committed between the two already-returned writes; the fresh branch
+// returns 2 and contradicts that commitment.
+struct SwAbdRun {
+  std::unique_ptr<sim::World> world;
+  std::shared_ptr<objects::AbdRegister> reg;
+  sim::Value x;
+};
+
+SwAbdRun run_sw_abd(bool fresh_branch) {
+  SwAbdRun run;
+  run.world = test::make_world(1);
+  run.reg = std::make_shared<objects::AbdRegister>(
+      "R", *run.world,
+      objects::AbdRegister::Options{
+          .num_processes = 3,
+          .variant = objects::AbdVariant::kSingleWriter,
+          .single_writer = 2});
+  auto reg = run.reg;
+  run.world->add_process("rx", [reg, &run](sim::Proc p) -> sim::Task<void> {
+    run.x = co_await reg->read(p);
+  });
+  run.world->add_process("idle", [](sim::Proc) -> sim::Task<void> {
+    co_return;
+  });
+  run.world->add_process("w", [reg](sim::Proc p) -> sim::Task<void> {
+    co_await reg->write(p, sim::Value(std::int64_t{1}));
+    co_await reg->write(p, sim::Value(std::int64_t{2}));
+  });
+
+  using adversary::deliver;
+  using adversary::resume;
+  adversary::ScriptedAdversary real;
+  real.step("reader starts", resume(0, "start"))
+      .step("reader broadcasts query", resume(0, "R.query-bcast"))
+      .step("own server gets the query", deliver(0, "R query sn=0 from p0"))
+      .step("reader's first (⊥) reply",
+            deliver(0, "R reply sn=0 val=⊥ ts=(0,0) from p0"))
+      .step("writer starts Write(1)", resume(2, "start"))
+      .step("Write(1) update broadcast", resume(2, "R.update-bcast"))
+      .step("p1 applies (1,(1,2))",
+            deliver(1, std::vector<std::string>{"R update sn=0", "from p2"}))
+      .step("p2 applies (1,(1,2))",
+            deliver(2, std::vector<std::string>{"R update sn=0", "from p2"}))
+      .step("W1 ack from p1", deliver(2, "R ack sn=0 from p1"))
+      .step("W1 ack from p2", deliver(2, "R ack sn=0 from p2"))
+      .step("Write(1) returns", resume(2, "R.update-quorum"))
+      .step("p1 answers the reader's query STALE (1,(1,2))",
+            deliver(1, "R query sn=0 from p0"))
+      .step("Write(2) update broadcast", resume(2, "R.update-bcast"))
+      .step("p2 applies (2,(2,2))",
+            deliver(2, std::vector<std::string>{"R update sn=1", "from p2"}))
+      .step("p1 applies (2,(2,2))",
+            deliver(1, std::vector<std::string>{"R update sn=1", "from p2"}))
+      .step("W2 ack from p2", deliver(2, "R ack sn=1 from p2"))
+      .step("W2 ack from p1", deliver(2, "R ack sn=1 from p1"))
+      .step("Write(2) returns; writer done", resume(2, "R.update-quorum"))
+      .step("p2 answers the reader's query FRESH (2,(2,2))",
+            deliver(2, "R query sn=0 from p0"));
+  // Branches: deliver the fresh or the stale reply; quorum reached; finish.
+  if (fresh_branch) {
+    real.step("fresh reply reaches the reader",
+              deliver(0, "R reply sn=0 val=2 ts=(2,2) from p2"));
+  } else {
+    real.step("stale reply reaches the reader",
+              deliver(0, "R reply sn=0 val=1 ts=(1,2) from p1"));
+  }
+  real.step("reader finishes its query", resume(0, "R.query-quorum"))
+      .step("reader write-back broadcast", resume(0, "R.update-bcast"))
+      .drive("finish the write-back",
+             {deliver(0, std::vector<std::string>{"R update", "from p0"}),
+              deliver(1, std::vector<std::string>{"R update", "from p0"}),
+              deliver(2, std::vector<std::string>{"R update", "from p0"}),
+              adversary::any_event("R ack"), resume(0, ""),
+              adversary::any_event("")},
+             [](const sim::World& w) { return w.finished(); });
+
+  const sim::RunResult res = run.world->run(real);
+  EXPECT_EQ(res.status, sim::RunStatus::kCompleted);
+  return run;
+}
+
+TEST(SingleWriterAbdRefutation, BranchesResolveOldAndNew) {
+  EXPECT_EQ(run_sw_abd(true).x, sim::Value(std::int64_t{2}));
+  EXPECT_EQ(run_sw_abd(false).x, sim::Value(std::int64_t{1}));
+}
+
+TEST(SingleWriterAbdRefutation, PairRefutesStrongLinButPassesTailStrong) {
+  const SwAbdRun a = run_sw_abd(true);
+  const SwAbdRun b = run_sw_abd(false);
+  const lin::History ha = lin::History::from_world(*a.world);
+  const lin::History hb = lin::History::from_world(*b.world);
+  lin::RegisterSpec spec;
+  EXPECT_TRUE(lin::check_linearizable(ha, spec).linearizable);
+  EXPECT_TRUE(lin::check_linearizable(hb, spec).linearizable);
+  const std::vector<lin::PrefixTree::TracedExecution> execs = {
+      {&ha, &a.world->trace()}, {&hb, &b.world->trace()}};
+  const lin::PrefixTree t0 =
+      lin::PrefixTree::merge_traced(execs, lin::PreambleMapping::trivial());
+  EXPECT_FALSE(lin::check_prefix_tree(t0, spec).ok);
+  const lin::PrefixTree t1 =
+      lin::PrefixTree::merge_traced(execs, a.reg->preamble_mapping());
+  const auto res = lin::check_prefix_tree(t1, spec);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+}  // namespace
+}  // namespace blunt

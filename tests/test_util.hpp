@@ -1,0 +1,89 @@
+// Shared helpers for the test suite: compact builders for synthetic
+// histories and worlds.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lin/history.hpp"
+#include "sim/coin.hpp"
+#include "sim/value.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::test {
+
+/// Builds synthetic single-object histories with explicit call/return trace
+/// positions (positions only need to be consistent relative to each other).
+class HistoryBuilder {
+ public:
+  explicit HistoryBuilder(std::string object_name = "obj")
+      : object_name_(std::move(object_name)) {}
+
+  /// Adds a completed operation; returns its invocation id.
+  InvocationId op(Pid pid, std::string method, sim::Value arg,
+                  std::optional<sim::Value> ret, int call_pos, int ret_pos) {
+    lin::Operation o;
+    o.id = next_id_++;
+    o.pid = pid;
+    o.object_id = 0;
+    o.object_name = object_name_;
+    o.method = std::move(method);
+    o.argument = std::move(arg);
+    o.result = std::move(ret);
+    o.call_pos = call_pos;
+    o.ret_pos = ret_pos;
+    ops_.push_back(std::move(o));
+    return next_id_ - 1;
+  }
+
+  /// Completed register write.
+  InvocationId write(Pid pid, std::int64_t v, int call_pos, int ret_pos) {
+    return op(pid, "Write", sim::Value(v), sim::Value{}, call_pos, ret_pos);
+  }
+
+  /// Completed register read returning v.
+  InvocationId read(Pid pid, std::int64_t v, int call_pos, int ret_pos) {
+    return op(pid, "Read", {}, sim::Value(v), call_pos, ret_pos);
+  }
+
+  /// Pending register write (no return).
+  InvocationId pending_write(Pid pid, std::int64_t v, int call_pos) {
+    return op(pid, "Write", sim::Value(v), std::nullopt, call_pos, -1);
+  }
+
+  /// Pending register read.
+  InvocationId pending_read(Pid pid, int call_pos) {
+    return op(pid, "Read", {}, std::nullopt, call_pos, -1);
+  }
+
+  /// Marks a preamble-line pass on the last added operation.
+  void passed(int line, int trace_index) {
+    ops_.back().line_passes.emplace_back(line, trace_index);
+  }
+
+  [[nodiscard]] lin::History build() const { return lin::History(ops_); }
+
+ private:
+  std::string object_name_;
+  std::vector<lin::Operation> ops_;
+  InvocationId next_id_ = 0;
+};
+
+inline std::unique_ptr<sim::World> make_world(std::uint64_t seed = 1,
+                                              int max_steps = 200000,
+                                              int max_crashes = 0) {
+  return std::make_unique<sim::World>(
+      sim::Config{max_steps, max_crashes},
+      std::make_unique<sim::SeededCoin>(seed));
+}
+
+inline std::unique_ptr<sim::World> make_world_scripted(std::vector<int> coins,
+                                                       int max_steps = 200000) {
+  return std::make_unique<sim::World>(
+      sim::Config{max_steps, 0},
+      std::make_unique<sim::ScriptedCoin>(std::move(coins)));
+}
+
+}  // namespace blunt::test

@@ -1,0 +1,82 @@
+// Tests for the ASCII timeline renderer.
+#include "lin/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/figure1.hpp"
+#include "test_util.hpp"
+
+namespace blunt::lin {
+namespace {
+
+TEST(Timeline, EmptyHistory) {
+  EXPECT_EQ(render_timeline(History{}), "(empty history)\n");
+}
+
+TEST(Timeline, OneRowPerProcess) {
+  test::HistoryBuilder hb;
+  hb.write(0, 1, 0, 4);
+  hb.read(1, 1, 5, 9);
+  hb.read(2, 1, 2, 7);
+  const std::string t = render_timeline(hb.build());
+  EXPECT_NE(t.find("p0 |"), std::string::npos);
+  EXPECT_NE(t.find("p1 |"), std::string::npos);
+  EXPECT_NE(t.find("p2 |"), std::string::npos);
+  // Three lines.
+  EXPECT_EQ(std::count(t.begin(), t.end(), '\n'), 3);
+}
+
+TEST(Timeline, CompletedSpanHasBrackets) {
+  test::HistoryBuilder hb;
+  hb.write(0, 7, 0, 10);
+  const std::string t = render_timeline(hb.build());
+  EXPECT_NE(t.find('['), std::string::npos);
+  EXPECT_NE(t.find(']'), std::string::npos);
+  EXPECT_NE(t.find("W(7)"), std::string::npos);
+}
+
+TEST(Timeline, PendingSpanHasOpenEnd) {
+  test::HistoryBuilder hb;
+  hb.pending_write(0, 7, 0);
+  hb.read(1, 7, 2, 6);
+  const std::string t = render_timeline(hb.build());
+  EXPECT_NE(t.find('>'), std::string::npos);
+}
+
+TEST(Timeline, ValuesCanBeHidden) {
+  test::HistoryBuilder hb;
+  hb.write(0, 7, 0, 10);
+  TimelineOptions opts;
+  opts.show_values = false;
+  const std::string t = render_timeline(hb.build(), opts);
+  EXPECT_EQ(t.find("W(7)"), std::string::npos);
+  EXPECT_NE(t.find(" W "), std::string::npos);
+}
+
+TEST(Timeline, PrecedenceIsVisible) {
+  // op A returns before op B is called: A's ']' column < B's '[' column.
+  test::HistoryBuilder hb;
+  hb.write(0, 1, 0, 2);
+  hb.read(1, 1, 5, 8);
+  const std::string t = render_timeline(hb.build());
+  const std::size_t nl = t.find('\n');
+  const std::string row0 = t.substr(0, nl);
+  const std::string row1 = t.substr(nl + 1);
+  EXPECT_LT(row0.rfind(']'), row1.find('['));
+}
+
+TEST(Timeline, RendersFigure1Execution) {
+  const adversary::Figure1Run run = adversary::run_figure1(0);
+  const History h =
+      History::from_world(*run.world).project_object(run.r_object_id);
+  const std::string t = render_timeline(h);
+  // Four R-operations across three processes; p2 has two spans.
+  EXPECT_NE(t.find("p0 |"), std::string::npos);
+  EXPECT_NE(t.find("W(0)"), std::string::npos);
+  EXPECT_NE(t.find("W(1)"), std::string::npos);
+  EXPECT_NE(t.find("R:0"), std::string::npos);
+  EXPECT_NE(t.find("R:1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blunt::lin

@@ -1,0 +1,130 @@
+// Unit tests for traces, values, and coin sources.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "sim/coin.hpp"
+#include "sim/value.hpp"
+
+namespace blunt::sim {
+namespace {
+
+TEST(Value, BottomDetection) {
+  EXPECT_TRUE(is_bottom(Value{}));
+  EXPECT_FALSE(is_bottom(Value(std::int64_t{0})));
+  EXPECT_FALSE(is_bottom(Value(std::string("x"))));
+}
+
+TEST(Value, AsIntRoundTrip) {
+  EXPECT_EQ(as_int(Value(std::int64_t{-7})), -7);
+}
+
+TEST(Value, AsVecRoundTrip) {
+  const Value v{std::vector<std::int64_t>{1, 2, 3}};
+  EXPECT_EQ(as_vec(v), (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(Value, Printing) {
+  EXPECT_EQ(to_string(Value{}), "⊥");
+  EXPECT_EQ(to_string(Value(std::int64_t{42})), "42");
+  EXPECT_EQ(to_string(Value(std::vector<std::int64_t>{1, 2})), "[1,2]");
+  EXPECT_EQ(to_string(Value(std::string("hi"))), "hi");
+}
+
+TEST(Value, EqualityDistinguishesAlternatives) {
+  EXPECT_NE(Value{}, Value(std::int64_t{0}));
+  EXPECT_EQ(Value(std::int64_t{1}), Value(std::int64_t{1}));
+}
+
+TEST(Trace, AppendsWithDenseIndices) {
+  Trace t;
+  t.set_sched_step(3);
+  const int a = t.append({.pid = 0, .kind = StepKind::kLocal, .what = "a"});
+  const int b = t.append({.pid = 1, .kind = StepKind::kSend, .what = "b"});
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(t.size(), 2);
+  EXPECT_EQ(t.entries()[1].sched_step, 3);
+}
+
+TEST(Trace, EntryPrintingIncludesEssentials) {
+  Trace t;
+  t.append({.pid = 2,
+            .kind = StepKind::kRandom,
+            .what = "coin",
+            .inv = 5,
+            .value = Value(std::int64_t{1})});
+  std::ostringstream os;
+  os << t.entries()[0];
+  const std::string s = os.str();
+  EXPECT_NE(s.find("p2"), std::string::npos);
+  EXPECT_NE(s.find("random"), std::string::npos);
+  EXPECT_NE(s.find("coin"), std::string::npos);
+  EXPECT_NE(s.find("inv=5"), std::string::npos);
+}
+
+TEST(InvocationRecord, PassedLineAtFindsFirstQualifyingPass) {
+  InvocationRecord rec;
+  rec.line_passes = {{10, 100}, {22, 150}, {22, 170}};
+  EXPECT_EQ(rec.passed_line_at(10), 100);
+  EXPECT_EQ(rec.passed_line_at(22), 150);
+  EXPECT_EQ(rec.passed_line_at(5), 100);   // any pass >= 5
+  EXPECT_EQ(rec.passed_line_at(50), -1);
+}
+
+TEST(SeededCoin, DeterministicPerSeed) {
+  SeededCoin a(9), b(9), c(10);
+  std::vector<int> va, vb, vc;
+  for (int i = 0; i < 32; ++i) {
+    va.push_back(a.next(6));
+    vb.push_back(b.next(6));
+    vc.push_back(c.next(6));
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(SeededCoin, RespectsRange) {
+  SeededCoin coin(1);
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) {
+    const int v = coin.next(3);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all values occur
+}
+
+TEST(ScriptedCoin, PlaysScriptThenReportsExhaustion) {
+  ScriptedCoin coin({1, 0, 2});
+  EXPECT_EQ(coin.next(2), 1);
+  EXPECT_EQ(coin.next(2), 0);
+  EXPECT_EQ(coin.next(3), 2);
+  EXPECT_EQ(coin.exhausted_demand(), 0);
+  EXPECT_EQ(coin.next(4), 0);  // overflow
+  EXPECT_EQ(coin.exhausted_demand(), 4);
+  EXPECT_EQ(coin.overflow_draws(), 1);
+  EXPECT_EQ(coin.consumed(), 3u);
+}
+
+TEST(ScriptedCoin, RejectsOutOfRangeScript) {
+  ScriptedCoin coin({5});
+  EXPECT_DEATH((void)coin.next(2), "out of range");
+}
+
+TEST(StepKind, AllNamed) {
+  for (const StepKind k :
+       {StepKind::kSpawn, StepKind::kLocal, StepKind::kRegisterRead,
+        StepKind::kRegisterWrite, StepKind::kSend, StepKind::kDeliver,
+        StepKind::kRandom, StepKind::kWaitResume, StepKind::kCall,
+        StepKind::kReturn, StepKind::kCrash}) {
+    EXPECT_STRNE(to_string(k), "?");
+  }
+}
+
+}  // namespace
+}  // namespace blunt::sim

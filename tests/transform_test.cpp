@@ -1,0 +1,141 @@
+// Unit tests for the generic preamble-iterating combinator (Algorithm 2) —
+// core::iterate_preamble — independent of any concrete object.
+#include "core/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/adversaries.hpp"
+#include "test_util.hpp"
+
+namespace blunt::core {
+namespace {
+
+using sim::Proc;
+using sim::StepKind;
+using sim::Task;
+
+// A counting preamble: each call takes one scheduler step and returns the
+// call index.
+struct Counter {
+  int calls = 0;
+  Task<int> preamble(Proc p) {
+    co_await p.yield(StepKind::kLocal, "preamble-step");
+    co_return calls++;
+  }
+};
+
+TEST(IteratePreamble, KOneIsDeterministicIdentity) {
+  auto w = test::make_world();
+  Counter counter;
+  int got = -1;
+  w->add_process("p", [&](Proc p) -> Task<void> {
+    got = co_await iterate_preamble<int>(
+        p, -1, 1, [&counter, p]() { return counter.preamble(p); }, "choose");
+  });
+  sim::FirstEnabledAdversary adv;
+  ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+  EXPECT_EQ(counter.calls, 1);
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(w->random_draws(), 0);  // no object random step: O^1 = O
+}
+
+TEST(IteratePreamble, RunsExactlyKIterations) {
+  for (const int k : {2, 3, 5}) {
+    auto w = test::make_world();
+    Counter counter;
+    w->add_process("p", [&, k](Proc p) -> Task<void> {
+      (void)co_await iterate_preamble<int>(
+          p, -1, k, [&counter, p]() { return counter.preamble(p); },
+          "choose");
+    });
+    sim::FirstEnabledAdversary adv;
+    ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+    EXPECT_EQ(counter.calls, k);
+    EXPECT_EQ(w->random_draws(), 1);
+  }
+}
+
+TEST(IteratePreamble, ScriptedChoiceSelectsIteration) {
+  for (const int choice : {0, 1, 2}) {
+    auto w = test::make_world_scripted({choice});
+    Counter counter;
+    int got = -1;
+    w->add_process("p", [&](Proc p) -> Task<void> {
+      got = co_await iterate_preamble<int>(
+          p, -1, 3, [&counter, p]() { return counter.preamble(p); },
+          "choose");
+    });
+    sim::FirstEnabledAdversary adv;
+    ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+    EXPECT_EQ(got, choice);  // the preamble returned its call index
+  }
+}
+
+TEST(IteratePreamble, UniformChoiceOverIterations) {
+  // With a PRNG coin, each iteration is chosen with roughly equal frequency.
+  const int k = 4;
+  std::vector<int> counts(static_cast<std::size_t>(k), 0);
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    auto w = test::make_world(seed);
+    Counter counter;
+    int got = -1;
+    w->add_process("p", [&](Proc p) -> Task<void> {
+      got = co_await iterate_preamble<int>(
+          p, -1, k, [&counter, p]() { return counter.preamble(p); },
+          "choose");
+    });
+    sim::FirstEnabledAdversary adv;
+    ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+    ASSERT_GE(got, 0);
+    ASSERT_LT(got, k);
+    ++counts[static_cast<std::size_t>(got)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 60);  // ~100 expected each
+    EXPECT_LT(c, 140);
+  }
+}
+
+TEST(IteratePreamble, EachIterationIsSchedulable) {
+  // Another process can interleave between iterations — the iterations are
+  // separate scheduler steps, not one atomic block.
+  auto w = test::make_world();
+  std::vector<int> interleave;
+  Counter counter;
+  w->add_process("iterator", [&](Proc p) -> Task<void> {
+    (void)co_await iterate_preamble<int>(
+        p, -1, 3,
+        [&, p]() -> Task<int> {
+          interleave.push_back(0);
+          return counter.preamble(p);
+        },
+        "choose");
+  });
+  w->add_process("other", [&](Proc p) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await p.yield(StepKind::kLocal, "tick");
+      interleave.push_back(1);
+    }
+  });
+  sim::RoundRobinAdversary adv;
+  ASSERT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+  // Both processes contributed, interleaved (not all of one then the other).
+  bool saw_alternation = false;
+  for (std::size_t i = 1; i < interleave.size(); ++i) {
+    if (interleave[i] != interleave[i - 1]) saw_alternation = true;
+  }
+  EXPECT_TRUE(saw_alternation);
+}
+
+TEST(IteratePreamble, RejectsNonPositiveK) {
+  auto w = test::make_world();
+  w->add_process("p", [&](Proc p) -> Task<void> {
+    (void)co_await iterate_preamble<int>(
+        p, -1, 0, []() -> Task<int> { co_return 0; }, "choose");
+  });
+  sim::FirstEnabledAdversary adv;
+  EXPECT_DEATH((void)w->run(adv), "must be >= 1");
+}
+
+}  // namespace
+}  // namespace blunt::core

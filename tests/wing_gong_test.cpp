@@ -1,0 +1,186 @@
+// Unit tests for the Wing–Gong linearizability checker on curated histories
+// (register and snapshot specs).
+#include "lin/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace blunt::lin {
+namespace {
+
+RegisterSpec bottom_reg;  // register initialized to ⊥
+
+TEST(WingGong, EmptyHistoryLinearizable) {
+  EXPECT_TRUE(check_linearizable(History{}, bottom_reg).linearizable);
+}
+
+TEST(WingGong, SequentialReadAfterWrite) {
+  test::HistoryBuilder hb;
+  hb.write(0, 5, 0, 1);
+  hb.read(1, 5, 2, 3);
+  EXPECT_TRUE(check_linearizable(hb.build(), bottom_reg).linearizable);
+}
+
+TEST(WingGong, ReadOfNeverWrittenValueRejected) {
+  test::HistoryBuilder hb;
+  hb.write(0, 5, 0, 1);
+  hb.read(1, 6, 2, 3);
+  EXPECT_FALSE(check_linearizable(hb.build(), bottom_reg).linearizable);
+}
+
+TEST(WingGong, StaleReadAfterCompletedWriteRejected) {
+  // Write(5) fully precedes a Read that returns the initial value.
+  test::HistoryBuilder hb;
+  hb.write(0, 5, 0, 1);
+  hb.op(1, "Read", {}, sim::Value{}, 2, 3);  // returns ⊥
+  EXPECT_FALSE(check_linearizable(hb.build(), bottom_reg).linearizable);
+}
+
+TEST(WingGong, ConcurrentWriteMayOrMayNotBeSeen) {
+  // Read overlaps Write(5): returning either ⊥ or 5 is linearizable.
+  for (const bool sees : {true, false}) {
+    test::HistoryBuilder hb;
+    hb.write(0, 5, 0, 10);
+    hb.op(1, "Read", {}, sees ? sim::Value(std::int64_t{5}) : sim::Value{}, 5,
+          6);
+    EXPECT_TRUE(check_linearizable(hb.build(), bottom_reg).linearizable)
+        << "sees=" << sees;
+  }
+}
+
+TEST(WingGong, NewOldInversionRejected) {
+  // Two sequential reads by one process: 5 then ⊥ cannot linearize.
+  test::HistoryBuilder hb;
+  hb.pending_write(0, 5, 0);
+  hb.read(1, 5, 2, 3);
+  hb.op(1, "Read", {}, sim::Value{}, 4, 5);
+  EXPECT_FALSE(check_linearizable(hb.build(), bottom_reg).linearizable);
+}
+
+TEST(WingGong, PendingWriteMayTakeEffect) {
+  // A read sees the value of a write that never returned: allowed (the
+  // pending write is linearized).
+  test::HistoryBuilder hb;
+  hb.pending_write(0, 5, 0);
+  hb.read(1, 5, 2, 3);
+  EXPECT_TRUE(check_linearizable(hb.build(), bottom_reg).linearizable);
+}
+
+TEST(WingGong, PendingWriteMayBeDropped) {
+  test::HistoryBuilder hb;
+  hb.pending_write(0, 5, 0);
+  hb.op(1, "Read", {}, sim::Value{}, 2, 3);  // still sees ⊥
+  EXPECT_TRUE(check_linearizable(hb.build(), bottom_reg).linearizable);
+}
+
+TEST(WingGong, WriteOrderMustExplainReads) {
+  // W(1) then W(2) sequentially; later reads must not see 1 after 2... here:
+  // read(2) then read(1) sequentially by one process is invalid.
+  test::HistoryBuilder hb;
+  hb.write(0, 1, 0, 1);
+  hb.write(0, 2, 2, 3);
+  hb.read(1, 2, 4, 5);
+  hb.read(1, 1, 6, 7);
+  EXPECT_FALSE(check_linearizable(hb.build(), bottom_reg).linearizable);
+}
+
+TEST(WingGong, ConcurrentWritesAllowEitherOrder) {
+  // W(1) || W(2), then read 1 — the W(2),W(1) order explains it.
+  test::HistoryBuilder hb;
+  hb.write(0, 1, 0, 10);
+  hb.write(1, 2, 1, 9);
+  hb.read(2, 1, 20, 21);
+  const auto res = check_linearizable(hb.build(), bottom_reg);
+  EXPECT_TRUE(res.linearizable);
+  std::string why;
+  EXPECT_TRUE(
+      validate_linearization(hb.build(), bottom_reg, res.witness, &why))
+      << why;
+}
+
+TEST(WingGong, WitnessIsValidLinearization) {
+  test::HistoryBuilder hb;
+  hb.write(0, 1, 0, 5);
+  hb.write(1, 2, 2, 8);
+  hb.read(2, 2, 9, 11);
+  hb.read(2, 2, 12, 14);
+  const auto res = check_linearizable(hb.build(), bottom_reg);
+  ASSERT_TRUE(res.linearizable);
+  std::string why;
+  EXPECT_TRUE(
+      validate_linearization(hb.build(), bottom_reg, res.witness, &why))
+      << why;
+}
+
+TEST(WingGong, ValidateRejectsBadWitness) {
+  test::HistoryBuilder hb;
+  hb.write(0, 1, 0, 1);
+  hb.read(1, 1, 2, 3);
+  const History h = hb.build();
+  // Read before write is spec-illegal.
+  EXPECT_FALSE(validate_linearization(h, bottom_reg, {1, 0}, nullptr));
+  // Missing completed op.
+  EXPECT_FALSE(validate_linearization(h, bottom_reg, {0}, nullptr));
+  // Correct order passes.
+  EXPECT_TRUE(validate_linearization(h, bottom_reg, {0, 1}, nullptr));
+}
+
+TEST(WingGong, SnapshotCleanScans) {
+  SnapshotSpec spec(2);
+  test::HistoryBuilder hb("snap");
+  hb.op(0, "Update", sim::Value(std::int64_t{7}), sim::Value{}, 0, 1);
+  hb.op(2, "Scan", {}, sim::Value(std::vector<std::int64_t>{7, 0}), 2, 3);
+  hb.op(1, "Update", sim::Value(std::int64_t{9}), sim::Value{}, 4, 5);
+  hb.op(2, "Scan", {}, sim::Value(std::vector<std::int64_t>{7, 9}), 6, 7);
+  EXPECT_TRUE(check_linearizable(hb.build(), spec).linearizable);
+}
+
+TEST(WingGong, SnapshotForgettingUpdateRejected) {
+  SnapshotSpec spec(2);
+  test::HistoryBuilder hb("snap");
+  hb.op(0, "Update", sim::Value(std::int64_t{7}), sim::Value{}, 0, 1);
+  // Scan after the update completed must include it.
+  hb.op(2, "Scan", {}, sim::Value(std::vector<std::int64_t>{0, 0}), 2, 3);
+  EXPECT_FALSE(check_linearizable(hb.build(), spec).linearizable);
+}
+
+TEST(WingGong, SnapshotScansMustBeMutuallyConsistent) {
+  SnapshotSpec spec(2);
+  test::HistoryBuilder hb("snap");
+  hb.op(0, "Update", sim::Value(std::int64_t{1}), std::nullopt, 0, -1);
+  hb.op(1, "Update", sim::Value(std::int64_t{2}), std::nullopt, 0, -1);
+  // Sequential scans observing the two pending updates in opposite orders.
+  hb.op(2, "Scan", {}, sim::Value(std::vector<std::int64_t>{1, 0}), 1, 2);
+  hb.op(2, "Scan", {}, sim::Value(std::vector<std::int64_t>{0, 2}), 3, 4);
+  EXPECT_FALSE(check_linearizable(hb.build(), spec).linearizable);
+}
+
+TEST(WingGong, CheckAllObjectsSplitsByObject) {
+  test::HistoryBuilder ha("a");
+  ha.write(0, 1, 0, 1);
+  ha.read(1, 1, 2, 3);
+  std::vector<Operation> ops = ha.build().ops();
+  Operation bad;
+  bad.id = 10;
+  bad.pid = 0;
+  bad.object_id = 1;
+  bad.object_name = "b";
+  bad.method = "Read";
+  bad.result = sim::Value(std::int64_t{42});  // never written on object b
+  bad.call_pos = 5;
+  bad.ret_pos = 6;
+  ops.push_back(bad);
+  const History h{ops};
+  RegisterSpec spec;
+  std::string why;
+  EXPECT_FALSE(check_all_objects(
+      h, [&spec](int) { return &spec; }, &why));
+  EXPECT_NE(why.find("object 1"), std::string::npos);
+  // Skipping object 1 passes.
+  EXPECT_TRUE(check_all_objects(
+      h, [&spec](int id) { return id == 0 ? &spec : nullptr; }, nullptr));
+}
+
+}  // namespace
+}  // namespace blunt::lin
