@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abd2_exact_game.dir/bench_abd2_exact_game.cpp.o"
+  "CMakeFiles/bench_abd2_exact_game.dir/bench_abd2_exact_game.cpp.o.d"
+  "bench_abd2_exact_game"
+  "bench_abd2_exact_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abd2_exact_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

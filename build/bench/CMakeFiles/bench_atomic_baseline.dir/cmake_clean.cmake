@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_atomic_baseline.dir/bench_atomic_baseline.cpp.o"
+  "CMakeFiles/bench_atomic_baseline.dir/bench_atomic_baseline.cpp.o.d"
+  "bench_atomic_baseline"
+  "bench_atomic_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atomic_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_equivalence_soak.dir/bench_equivalence_soak.cpp.o"
+  "CMakeFiles/bench_equivalence_soak.dir/bench_equivalence_soak.cpp.o.d"
+  "bench_equivalence_soak"
+  "bench_equivalence_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_equivalence_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_adversary.dir/bench_figure1_adversary.cpp.o"
+  "CMakeFiles/bench_figure1_adversary.dir/bench_figure1_adversary.cpp.o.d"
+  "bench_figure1_adversary"
+  "bench_figure1_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_k_tradeoff.dir/bench_k_tradeoff.cpp.o"
+  "CMakeFiles/bench_k_tradeoff.dir/bench_k_tradeoff.cpp.o.d"
+  "bench_k_tradeoff"
+  "bench_k_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_k_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

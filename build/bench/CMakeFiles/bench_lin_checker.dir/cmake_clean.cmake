@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lin_checker.dir/bench_lin_checker.cpp.o"
+  "CMakeFiles/bench_lin_checker.dir/bench_lin_checker.cpp.o.d"
+  "bench_lin_checker"
+  "bench_lin_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lin_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snapshot_blunting.dir/bench_snapshot_blunting.cpp.o"
+  "CMakeFiles/bench_snapshot_blunting.dir/bench_snapshot_blunting.cpp.o.d"
+  "bench_snapshot_blunting"
+  "bench_snapshot_blunting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snapshot_blunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

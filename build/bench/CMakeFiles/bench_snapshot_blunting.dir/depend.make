@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_snapshot_blunting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem42_bound.dir/bench_theorem42_bound.cpp.o"
+  "CMakeFiles/bench_theorem42_bound.dir/bench_theorem42_bound.cpp.o.d"
+  "bench_theorem42_bound"
+  "bench_theorem42_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem42_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vitanyi_il_blunting.dir/bench_vitanyi_il_blunting.cpp.o"
+  "CMakeFiles/bench_vitanyi_il_blunting.dir/bench_vitanyi_il_blunting.cpp.o.d"
+  "bench_vitanyi_il_blunting"
+  "bench_vitanyi_il_blunting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vitanyi_il_blunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

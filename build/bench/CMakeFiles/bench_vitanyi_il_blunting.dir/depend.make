@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_vitanyi_il_blunting.
+# This may be replaced when dependencies are built.

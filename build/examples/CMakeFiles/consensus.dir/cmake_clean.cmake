@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus.dir/consensus.cpp.o"
+  "CMakeFiles/consensus.dir/consensus.cpp.o.d"
+  "consensus"
+  "consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

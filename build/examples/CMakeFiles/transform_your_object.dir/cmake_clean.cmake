@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_your_object.dir/transform_your_object.cpp.o"
+  "CMakeFiles/transform_your_object.dir/transform_your_object.cpp.o.d"
+  "transform_your_object"
+  "transform_your_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_your_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

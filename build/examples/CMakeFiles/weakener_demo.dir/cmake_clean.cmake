@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakener_demo.dir/weakener_demo.cpp.o"
+  "CMakeFiles/weakener_demo.dir/weakener_demo.cpp.o.d"
+  "weakener_demo"
+  "weakener_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakener_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/explorer.cpp" "src/adversary/CMakeFiles/blunt_adversary.dir/explorer.cpp.o" "gcc" "src/adversary/CMakeFiles/blunt_adversary.dir/explorer.cpp.o.d"
+  "/root/repo/src/adversary/figure1.cpp" "src/adversary/CMakeFiles/blunt_adversary.dir/figure1.cpp.o" "gcc" "src/adversary/CMakeFiles/blunt_adversary.dir/figure1.cpp.o.d"
+  "/root/repo/src/adversary/mc_search.cpp" "src/adversary/CMakeFiles/blunt_adversary.dir/mc_search.cpp.o" "gcc" "src/adversary/CMakeFiles/blunt_adversary.dir/mc_search.cpp.o.d"
+  "/root/repo/src/adversary/scripted.cpp" "src/adversary/CMakeFiles/blunt_adversary.dir/scripted.cpp.o" "gcc" "src/adversary/CMakeFiles/blunt_adversary.dir/scripted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/blunt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/blunt_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/programs/CMakeFiles/blunt_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/blunt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/blunt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lin/CMakeFiles/blunt_lin.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blunt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

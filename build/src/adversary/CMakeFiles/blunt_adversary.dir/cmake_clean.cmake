@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blunt_adversary.dir/explorer.cpp.o"
+  "CMakeFiles/blunt_adversary.dir/explorer.cpp.o.d"
+  "CMakeFiles/blunt_adversary.dir/figure1.cpp.o"
+  "CMakeFiles/blunt_adversary.dir/figure1.cpp.o.d"
+  "CMakeFiles/blunt_adversary.dir/mc_search.cpp.o"
+  "CMakeFiles/blunt_adversary.dir/mc_search.cpp.o.d"
+  "CMakeFiles/blunt_adversary.dir/scripted.cpp.o"
+  "CMakeFiles/blunt_adversary.dir/scripted.cpp.o.d"
+  "libblunt_adversary.a"
+  "libblunt_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blunt_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libblunt_adversary.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blunt_common.dir/assert.cpp.o"
+  "CMakeFiles/blunt_common.dir/assert.cpp.o.d"
+  "CMakeFiles/blunt_common.dir/rational.cpp.o"
+  "CMakeFiles/blunt_common.dir/rational.cpp.o.d"
+  "CMakeFiles/blunt_common.dir/stats.cpp.o"
+  "CMakeFiles/blunt_common.dir/stats.cpp.o.d"
+  "CMakeFiles/blunt_common.dir/types.cpp.o"
+  "CMakeFiles/blunt_common.dir/types.cpp.o.d"
+  "libblunt_common.a"
+  "libblunt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blunt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

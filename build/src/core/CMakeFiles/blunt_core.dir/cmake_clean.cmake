@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blunt_core.dir/bounds.cpp.o"
+  "CMakeFiles/blunt_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/blunt_core.dir/preamble_audit.cpp.o"
+  "CMakeFiles/blunt_core.dir/preamble_audit.cpp.o.d"
+  "libblunt_core.a"
+  "libblunt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blunt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/abd_phase_game.cpp" "src/game/CMakeFiles/blunt_game.dir/abd_phase_game.cpp.o" "gcc" "src/game/CMakeFiles/blunt_game.dir/abd_phase_game.cpp.o.d"
+  "/root/repo/src/game/snapshot_game.cpp" "src/game/CMakeFiles/blunt_game.dir/snapshot_game.cpp.o" "gcc" "src/game/CMakeFiles/blunt_game.dir/snapshot_game.cpp.o.d"
+  "/root/repo/src/game/solver.cpp" "src/game/CMakeFiles/blunt_game.dir/solver.cpp.o" "gcc" "src/game/CMakeFiles/blunt_game.dir/solver.cpp.o.d"
+  "/root/repo/src/game/va_game.cpp" "src/game/CMakeFiles/blunt_game.dir/va_game.cpp.o" "gcc" "src/game/CMakeFiles/blunt_game.dir/va_game.cpp.o.d"
+  "/root/repo/src/game/weakener_game.cpp" "src/game/CMakeFiles/blunt_game.dir/weakener_game.cpp.o" "gcc" "src/game/CMakeFiles/blunt_game.dir/weakener_game.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blunt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

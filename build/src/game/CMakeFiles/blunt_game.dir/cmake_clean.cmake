@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blunt_game.dir/abd_phase_game.cpp.o"
+  "CMakeFiles/blunt_game.dir/abd_phase_game.cpp.o.d"
+  "CMakeFiles/blunt_game.dir/snapshot_game.cpp.o"
+  "CMakeFiles/blunt_game.dir/snapshot_game.cpp.o.d"
+  "CMakeFiles/blunt_game.dir/solver.cpp.o"
+  "CMakeFiles/blunt_game.dir/solver.cpp.o.d"
+  "CMakeFiles/blunt_game.dir/va_game.cpp.o"
+  "CMakeFiles/blunt_game.dir/va_game.cpp.o.d"
+  "CMakeFiles/blunt_game.dir/weakener_game.cpp.o"
+  "CMakeFiles/blunt_game.dir/weakener_game.cpp.o.d"
+  "libblunt_game.a"
+  "libblunt_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blunt_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

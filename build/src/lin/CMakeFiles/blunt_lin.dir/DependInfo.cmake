@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lin/check.cpp" "src/lin/CMakeFiles/blunt_lin.dir/check.cpp.o" "gcc" "src/lin/CMakeFiles/blunt_lin.dir/check.cpp.o.d"
+  "/root/repo/src/lin/history.cpp" "src/lin/CMakeFiles/blunt_lin.dir/history.cpp.o" "gcc" "src/lin/CMakeFiles/blunt_lin.dir/history.cpp.o.d"
+  "/root/repo/src/lin/spec.cpp" "src/lin/CMakeFiles/blunt_lin.dir/spec.cpp.o" "gcc" "src/lin/CMakeFiles/blunt_lin.dir/spec.cpp.o.d"
+  "/root/repo/src/lin/strong.cpp" "src/lin/CMakeFiles/blunt_lin.dir/strong.cpp.o" "gcc" "src/lin/CMakeFiles/blunt_lin.dir/strong.cpp.o.d"
+  "/root/repo/src/lin/timeline.cpp" "src/lin/CMakeFiles/blunt_lin.dir/timeline.cpp.o" "gcc" "src/lin/CMakeFiles/blunt_lin.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/blunt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blunt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

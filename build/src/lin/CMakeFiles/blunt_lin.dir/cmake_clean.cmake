@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blunt_lin.dir/check.cpp.o"
+  "CMakeFiles/blunt_lin.dir/check.cpp.o.d"
+  "CMakeFiles/blunt_lin.dir/history.cpp.o"
+  "CMakeFiles/blunt_lin.dir/history.cpp.o.d"
+  "CMakeFiles/blunt_lin.dir/spec.cpp.o"
+  "CMakeFiles/blunt_lin.dir/spec.cpp.o.d"
+  "CMakeFiles/blunt_lin.dir/strong.cpp.o"
+  "CMakeFiles/blunt_lin.dir/strong.cpp.o.d"
+  "CMakeFiles/blunt_lin.dir/timeline.cpp.o"
+  "CMakeFiles/blunt_lin.dir/timeline.cpp.o.d"
+  "libblunt_lin.a"
+  "libblunt_lin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blunt_lin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blunt_mem.dir/base_register.cpp.o"
+  "CMakeFiles/blunt_mem.dir/base_register.cpp.o.d"
+  "libblunt_mem.a"
+  "libblunt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blunt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

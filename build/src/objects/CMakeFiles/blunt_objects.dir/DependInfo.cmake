@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objects/abd.cpp" "src/objects/CMakeFiles/blunt_objects.dir/abd.cpp.o" "gcc" "src/objects/CMakeFiles/blunt_objects.dir/abd.cpp.o.d"
+  "/root/repo/src/objects/atomic.cpp" "src/objects/CMakeFiles/blunt_objects.dir/atomic.cpp.o" "gcc" "src/objects/CMakeFiles/blunt_objects.dir/atomic.cpp.o.d"
+  "/root/repo/src/objects/hw_queue.cpp" "src/objects/CMakeFiles/blunt_objects.dir/hw_queue.cpp.o" "gcc" "src/objects/CMakeFiles/blunt_objects.dir/hw_queue.cpp.o.d"
+  "/root/repo/src/objects/israeli_li.cpp" "src/objects/CMakeFiles/blunt_objects.dir/israeli_li.cpp.o" "gcc" "src/objects/CMakeFiles/blunt_objects.dir/israeli_li.cpp.o.d"
+  "/root/repo/src/objects/snapshot.cpp" "src/objects/CMakeFiles/blunt_objects.dir/snapshot.cpp.o" "gcc" "src/objects/CMakeFiles/blunt_objects.dir/snapshot.cpp.o.d"
+  "/root/repo/src/objects/vitanyi.cpp" "src/objects/CMakeFiles/blunt_objects.dir/vitanyi.cpp.o" "gcc" "src/objects/CMakeFiles/blunt_objects.dir/vitanyi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/blunt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/blunt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lin/CMakeFiles/blunt_lin.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blunt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

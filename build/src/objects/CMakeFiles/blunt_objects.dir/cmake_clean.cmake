@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blunt_objects.dir/abd.cpp.o"
+  "CMakeFiles/blunt_objects.dir/abd.cpp.o.d"
+  "CMakeFiles/blunt_objects.dir/atomic.cpp.o"
+  "CMakeFiles/blunt_objects.dir/atomic.cpp.o.d"
+  "CMakeFiles/blunt_objects.dir/hw_queue.cpp.o"
+  "CMakeFiles/blunt_objects.dir/hw_queue.cpp.o.d"
+  "CMakeFiles/blunt_objects.dir/israeli_li.cpp.o"
+  "CMakeFiles/blunt_objects.dir/israeli_li.cpp.o.d"
+  "CMakeFiles/blunt_objects.dir/snapshot.cpp.o"
+  "CMakeFiles/blunt_objects.dir/snapshot.cpp.o.d"
+  "CMakeFiles/blunt_objects.dir/vitanyi.cpp.o"
+  "CMakeFiles/blunt_objects.dir/vitanyi.cpp.o.d"
+  "libblunt_objects.a"
+  "libblunt_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blunt_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

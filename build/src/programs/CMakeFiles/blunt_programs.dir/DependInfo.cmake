@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/programs/ben_or.cpp" "src/programs/CMakeFiles/blunt_programs.dir/ben_or.cpp.o" "gcc" "src/programs/CMakeFiles/blunt_programs.dir/ben_or.cpp.o.d"
+  "/root/repo/src/programs/rounds.cpp" "src/programs/CMakeFiles/blunt_programs.dir/rounds.cpp.o" "gcc" "src/programs/CMakeFiles/blunt_programs.dir/rounds.cpp.o.d"
+  "/root/repo/src/programs/snapshot_weakener.cpp" "src/programs/CMakeFiles/blunt_programs.dir/snapshot_weakener.cpp.o" "gcc" "src/programs/CMakeFiles/blunt_programs.dir/snapshot_weakener.cpp.o.d"
+  "/root/repo/src/programs/weakener.cpp" "src/programs/CMakeFiles/blunt_programs.dir/weakener.cpp.o" "gcc" "src/programs/CMakeFiles/blunt_programs.dir/weakener.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/objects/CMakeFiles/blunt_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/blunt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/blunt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lin/CMakeFiles/blunt_lin.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/blunt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blunt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blunt_programs.dir/ben_or.cpp.o"
+  "CMakeFiles/blunt_programs.dir/ben_or.cpp.o.d"
+  "CMakeFiles/blunt_programs.dir/rounds.cpp.o"
+  "CMakeFiles/blunt_programs.dir/rounds.cpp.o.d"
+  "CMakeFiles/blunt_programs.dir/snapshot_weakener.cpp.o"
+  "CMakeFiles/blunt_programs.dir/snapshot_weakener.cpp.o.d"
+  "CMakeFiles/blunt_programs.dir/weakener.cpp.o"
+  "CMakeFiles/blunt_programs.dir/weakener.cpp.o.d"
+  "libblunt_programs.a"
+  "libblunt_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blunt_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event.cpp" "src/sim/CMakeFiles/blunt_sim.dir/event.cpp.o" "gcc" "src/sim/CMakeFiles/blunt_sim.dir/event.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/blunt_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/blunt_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/value.cpp" "src/sim/CMakeFiles/blunt_sim.dir/value.cpp.o" "gcc" "src/sim/CMakeFiles/blunt_sim.dir/value.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/blunt_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/blunt_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blunt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

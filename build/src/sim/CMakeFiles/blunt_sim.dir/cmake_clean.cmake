@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blunt_sim.dir/event.cpp.o"
+  "CMakeFiles/blunt_sim.dir/event.cpp.o.d"
+  "CMakeFiles/blunt_sim.dir/trace.cpp.o"
+  "CMakeFiles/blunt_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/blunt_sim.dir/value.cpp.o"
+  "CMakeFiles/blunt_sim.dir/value.cpp.o.d"
+  "CMakeFiles/blunt_sim.dir/world.cpp.o"
+  "CMakeFiles/blunt_sim.dir/world.cpp.o.d"
+  "libblunt_sim.a"
+  "libblunt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blunt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

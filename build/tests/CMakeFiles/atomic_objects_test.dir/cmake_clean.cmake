@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_objects_test.dir/atomic_objects_test.cpp.o"
+  "CMakeFiles/atomic_objects_test.dir/atomic_objects_test.cpp.o.d"
+  "atomic_objects_test"
+  "atomic_objects_test.pdb"
+  "atomic_objects_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_objects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

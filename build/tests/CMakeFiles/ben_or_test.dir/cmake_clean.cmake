@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ben_or_test.dir/ben_or_test.cpp.o"
+  "CMakeFiles/ben_or_test.dir/ben_or_test.cpp.o.d"
+  "ben_or_test"
+  "ben_or_test.pdb"
+  "ben_or_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ben_or_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

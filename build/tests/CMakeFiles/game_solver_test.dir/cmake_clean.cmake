@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_solver_test.dir/game_solver_test.cpp.o"
+  "CMakeFiles/game_solver_test.dir/game_solver_test.cpp.o.d"
+  "game_solver_test"
+  "game_solver_test.pdb"
+  "game_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

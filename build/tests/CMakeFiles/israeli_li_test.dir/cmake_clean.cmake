@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/israeli_li_test.dir/israeli_li_test.cpp.o"
+  "CMakeFiles/israeli_li_test.dir/israeli_li_test.cpp.o.d"
+  "israeli_li_test"
+  "israeli_li_test.pdb"
+  "israeli_li_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/israeli_li_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

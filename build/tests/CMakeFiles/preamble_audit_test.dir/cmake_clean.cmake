@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preamble_audit_test.dir/preamble_audit_test.cpp.o"
+  "CMakeFiles/preamble_audit_test.dir/preamble_audit_test.cpp.o.d"
+  "preamble_audit_test"
+  "preamble_audit_test.pdb"
+  "preamble_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preamble_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

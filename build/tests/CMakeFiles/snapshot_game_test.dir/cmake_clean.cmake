@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_game_test.dir/snapshot_game_test.cpp.o"
+  "CMakeFiles/snapshot_game_test.dir/snapshot_game_test.cpp.o.d"
+  "snapshot_game_test"
+  "snapshot_game_test.pdb"
+  "snapshot_game_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

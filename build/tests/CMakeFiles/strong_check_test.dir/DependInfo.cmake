@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/strong_check_test.cpp" "tests/CMakeFiles/strong_check_test.dir/strong_check_test.cpp.o" "gcc" "tests/CMakeFiles/strong_check_test.dir/strong_check_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blunt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/blunt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/blunt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lin/CMakeFiles/blunt_lin.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/blunt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/blunt_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/programs/CMakeFiles/blunt_programs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strong_check_test.dir/strong_check_test.cpp.o"
+  "CMakeFiles/strong_check_test.dir/strong_check_test.cpp.o.d"
+  "strong_check_test"
+  "strong_check_test.pdb"
+  "strong_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strong_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

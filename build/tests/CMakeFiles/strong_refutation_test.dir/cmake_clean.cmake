@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strong_refutation_test.dir/strong_refutation_test.cpp.o"
+  "CMakeFiles/strong_refutation_test.dir/strong_refutation_test.cpp.o.d"
+  "strong_refutation_test"
+  "strong_refutation_test.pdb"
+  "strong_refutation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strong_refutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/va_game_test.dir/va_game_test.cpp.o"
+  "CMakeFiles/va_game_test.dir/va_game_test.cpp.o.d"
+  "va_game_test"
+  "va_game_test.pdb"
+  "va_game_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/va_game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitanyi_test.dir/vitanyi_test.cpp.o"
+  "CMakeFiles/vitanyi_test.dir/vitanyi_test.cpp.o.d"
+  "vitanyi_test"
+  "vitanyi_test.pdb"
+  "vitanyi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitanyi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakener_test.dir/weakener_test.cpp.o"
+  "CMakeFiles/weakener_test.dir/weakener_test.cpp.o.d"
+  "weakener_test"
+  "weakener_test.pdb"
+  "weakener_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakener_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

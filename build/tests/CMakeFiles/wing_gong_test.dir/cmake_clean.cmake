@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wing_gong_test.dir/wing_gong_test.cpp.o"
+  "CMakeFiles/wing_gong_test.dir/wing_gong_test.cpp.o.d"
+  "wing_gong_test"
+  "wing_gong_test.pdb"
+  "wing_gong_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wing_gong_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
