@@ -59,6 +59,24 @@ void run() {
                 strategy[i].label.c_str(),
                 strategy[i].value.to_string().c_str());
   }
+
+  obs::BenchReport report("abd2_exact_game");
+  report.set_metric("bad_probability", value.to_double());
+  report.set_metric_string("bad_probability_exact", value.to_string());
+  report.set_metric("termination_probability",
+                    (Rational(1) - value).to_double());
+  report.set_metric_bool("refined_bound_tight", value == Rational(5, 8));
+  report.set_metric_int("game_states_visited",
+                        static_cast<std::int64_t>(stats.states_visited));
+  report.set_metric_int("strategy_moves_extracted",
+                        static_cast<std::int64_t>(strategy.size()));
+  report.add_timing_ms("game_solve", secs * 1000.0);
+  // Instrumented probe: one real ABD² weakener run for the registry section.
+  bench::merge_probe(
+      report, bench::run_instrumented_weakener(/*coin_seed=*/0,
+                                               /*sched_seed=*/0, /*k=*/2)
+                  .snapshot);
+  bench::write_report(report);
 }
 
 }  // namespace

@@ -19,6 +19,25 @@
 namespace blunt {
 namespace {
 
+/// Monte-Carlo/probe builder; `metrics` flips on the world's observability
+/// registry for the instrumented probe run the bench report carries.
+adversary::McInstance atomic_weakener_mc(std::uint64_t coin_seed,
+                                         bool metrics = false) {
+  adversary::McInstance inst;
+  inst.world = std::make_unique<sim::World>(
+      sim::Config{.metrics = metrics},
+      std::make_unique<sim::SeededCoin>(coin_seed));
+  auto r = std::make_shared<objects::AtomicRegister>("R", *inst.world,
+                                                     sim::Value{});
+  auto c = std::make_shared<objects::AtomicRegister>(
+      "C", *inst.world, sim::Value(std::int64_t{-1}));
+  auto out = std::make_shared<programs::WeakenerOutcome>();
+  programs::install_weakener(*inst.world, *r, *c, *out);
+  inst.bad = [out] { return out->looped(); };
+  inst.owned = {r, c, out};
+  return inst;
+}
+
 adversary::Instance atomic_weakener_factory(std::vector<int> coins) {
   adversary::Instance inst = adversary::make_instance(std::move(coins));
   auto r = std::make_shared<objects::AtomicRegister>("R", *inst.world,
@@ -51,22 +70,10 @@ void run() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
           .count();
 
+  obs::MetricsRegistry mc_metrics;
   const adversary::McSearchResult mc = adversary::search_random_adversaries(
-      [](std::uint64_t coin_seed) {
-        adversary::McInstance inst;
-        inst.world = std::make_unique<sim::World>(
-            sim::Config{}, std::make_unique<sim::SeededCoin>(coin_seed));
-        auto r = std::make_shared<objects::AtomicRegister>("R", *inst.world,
-                                                           sim::Value{});
-        auto c = std::make_shared<objects::AtomicRegister>(
-            "C", *inst.world, sim::Value(std::int64_t{-1}));
-        auto out = std::make_shared<programs::WeakenerOutcome>();
-        programs::install_weakener(*inst.world, *r, *c, *out);
-        inst.bad = [out] { return out->looped(); };
-        inst.owned = {r, c, out};
-        return inst;
-      },
-      /*scheduler_seeds=*/20, /*trials_per_seed=*/200);
+      [](std::uint64_t coin_seed) { return atomic_weakener_mc(coin_seed); },
+      /*scheduler_seeds=*/20, /*trials_per_seed=*/200, &mc_metrics);
 
   bench::print_rule();
   std::printf("%-44s %12s %14s\n", "method", "Prob[bad]", "termination");
@@ -90,6 +97,35 @@ void run() {
               (game_value == Rational(1, 2) && ex.value == Rational(1, 2))
                   ? "REPRODUCE it"
                   : "DISAGREE (!)");
+
+  obs::BenchReport report("atomic_baseline");
+  report.set_metric("bad_probability", game_value.to_double());
+  report.set_metric_string("bad_probability_exact", game_value.to_string());
+  report.set_metric("termination_probability",
+                    (Rational(1) - game_value).to_double());
+  report.set_metric("bad_probability_explorer", ex.value.to_double());
+  report.set_metric("bad_probability_mc_pooled", mc.pooled.mean());
+  report.set_metric("bad_probability_mc_best_seed", mc.best_rate);
+  report.set_metric_int("explorer_executions", ex.executions);
+  report.set_metric_int("game_states_visited",
+                        static_cast<std::int64_t>(stats.states_visited));
+  report.set_metric_bool("reproduces_paper",
+                         game_value == Rational(1, 2) &&
+                             ex.value == Rational(1, 2));
+  report.add_timing_ms("game_solve", game_secs * 1000.0);
+  report.add_timing_ms("explorer", ex_secs * 1000.0);
+  report.set_environment_int("mc_scheduler_seeds", 20);
+  report.set_environment_int("mc_trials_per_seed", 200);
+  // Registry: the MC search counters plus one instrumented atomic-weakener
+  // run (step kinds, invocation latencies; atomic registers send nothing,
+  // so the net.* counters stay zero by construction).
+  report.merge_registry(mc_metrics.snapshot());
+  adversary::McInstance probe = atomic_weakener_mc(/*coin_seed=*/1,
+                                                   /*metrics=*/true);
+  sim::UniformAdversary probe_adv(1);
+  (void)probe.world->run(probe_adv);
+  bench::merge_probe(report, probe.world->metrics()->snapshot());
+  bench::write_report(report);
 }
 
 }  // namespace

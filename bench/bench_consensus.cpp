@@ -74,6 +74,10 @@ void run() {
   std::printf("%-26s %8s %10s %10s %10s %12s %10s\n", "registers", "runs",
               "decided", "agree", "valid", "rounds avg", "steps avg");
   bench::print_rule();
+  obs::BenchReport report("consensus");
+  obs::JsonArray impl_rows;
+  int pooled_runs = 0;
+  int pooled_decided = 0;
   for (const Row& row : rows) {
     const int runs = 60;
     int decided = 0;
@@ -104,7 +108,44 @@ void run() {
     }
     std::printf("%-26s %8d %10d %10d %10d %12.2f %10.0f\n", row.name, runs,
                 decided, agree, valid, rounds.mean(), steps.mean());
+
+    // One instrumented Ben-Or run per implementation: the registry
+    // accumulates step kinds, messages, and preamble iterations across rows.
+    {
+      auto w = std::make_unique<sim::World>(
+          sim::Config{.max_steps = 4000000, .metrics = true},
+          std::make_unique<sim::SeededCoin>(1));
+      BenOrConfig cfg{.num_processes = 3, .max_rounds = 8,
+                      .inputs = {0, 1, 1}};
+      BenOrOutcome out;
+      auto regs = programs::install_ben_or(*w, cfg, row.make(*w), out);
+      sim::UniformAdversary adv(20);
+      (void)w->run(adv);
+      report.merge_registry(w->metrics()->snapshot());
+    }
+
+    obs::JsonObject jrow;
+    jrow["registers"] = obs::Json(std::string(row.name));
+    jrow["runs"] = obs::Json(runs);
+    jrow["decided"] = obs::Json(decided);
+    jrow["agreement"] = obs::Json(agree);
+    jrow["validity"] = obs::Json(valid);
+    jrow["rounds_avg"] = obs::Json(rounds.mean());
+    jrow["steps_avg"] = obs::Json(steps.mean());
+    impl_rows.emplace_back(std::move(jrow));
+    pooled_runs += runs;
+    pooled_decided += decided;
   }
+  // Bad outcome for consensus = not everyone decided within max_rounds
+  // (under the weak random scheduler; expected ~0 for every implementation).
+  report.set_metric("bad_probability",
+                    pooled_runs == 0
+                        ? 0.0
+                        : 1.0 - static_cast<double>(pooled_decided) /
+                                    pooled_runs);
+  report.set_metric_json("implementations", obs::Json(std::move(impl_rows)));
+  report.set_environment_int("runs_per_impl", 60);
+  bench::write_report(report);
   bench::print_rule();
   std::printf(
       "safety (agreement, validity) is 100%% for every implementation — "

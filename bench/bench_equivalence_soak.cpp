@@ -172,7 +172,13 @@ void run() {
   std::printf("%-30s %8s %12s %12s %12s\n", "object", "runs/k", "k=1 ok",
               "k=2 ok", "k=3 ok");
   bench::print_rule();
+  // The soak worlds deliberately run with metrics OFF: this bench doubles as
+  // the observability-overhead regression gate (the disabled-path cost must
+  // stay in the noise). The report carries one instrumented probe instead.
   bool all_ok = true;
+  int total_runs = 0;
+  int total_violations = 0;
+  obs::JsonArray soak_rows;
   for (const Row& row : rows) {
     SoakResult r1 = soak(row.fn, 1, runs);
     SoakResult r2 = soak(row.fn, 2, runs);
@@ -181,11 +187,38 @@ void run() {
                 r1.linearizable, r2.linearizable, r3.linearizable);
     all_ok = all_ok && r1.linearizable == runs && r2.linearizable == runs &&
              r3.linearizable == runs;
+    total_runs += 3 * runs;
+    total_violations += (runs - r1.linearizable) + (runs - r2.linearizable) +
+                        (runs - r3.linearizable);
+    obs::JsonObject jrow;
+    jrow["object"] = obs::Json(std::string(row.name));
+    jrow["runs_per_k"] = obs::Json(runs);
+    jrow["k1_linearizable"] = obs::Json(r1.linearizable);
+    jrow["k2_linearizable"] = obs::Json(r2.linearizable);
+    jrow["k3_linearizable"] = obs::Json(r3.linearizable);
+    soak_rows.emplace_back(std::move(jrow));
   }
   bench::print_rule();
   std::printf("verdict: %s\n",
               all_ok ? "0 violations — Theorem 4.1 holds on every soak"
                      : "VIOLATIONS FOUND (!)");
+
+  obs::BenchReport report("equivalence_soak");
+  // Bad outcome here = a linearizability violation; Theorem 4.1 says zero.
+  report.set_metric("bad_probability",
+                    total_runs == 0
+                        ? 0.0
+                        : static_cast<double>(total_violations) / total_runs);
+  report.set_metric_int("total_runs", total_runs);
+  report.set_metric_int("violations", total_violations);
+  report.set_metric_bool("theorem41_holds", all_ok);
+  report.set_metric_json("soak", obs::Json(std::move(soak_rows)));
+  report.set_environment_int("runs_per_cell", runs);
+  bench::merge_probe(
+      report, bench::run_instrumented_weakener(/*coin_seed=*/0,
+                                               /*sched_seed=*/0, /*k=*/2)
+                  .snapshot);
+  bench::write_report(report);
 }
 
 }  // namespace

@@ -71,6 +71,24 @@ void run() {
   std::printf("branch pair, Pi_ABD (tail strong linearizability):      %s\n",
               tail.ok ? "holds — Theorem 5.1 confirmed on these executions"
                       : "violated (!)");
+
+  obs::BenchReport report("figure1_adversary");
+  // The Figure 1 adversary wins deterministically for both coin values:
+  // bad-outcome probability 1 (termination probability 0, Appendix A.2).
+  report.set_metric("bad_probability", wins / 2.0);
+  report.set_metric_int("adversary_wins", wins);
+  report.set_metric_int("coin_branches", 2);
+  report.set_metric_bool("strong_linearizability_refuted", !strong.ok);
+  report.set_metric_bool("tail_strong_holds", tail.ok);
+  report.set_metric_int("steps_coin0", worlds[0]->steps_executed());
+  report.set_metric_int("steps_coin1", worlds[1]->steps_executed());
+  // Instrumented probe: the same weakener-over-ABD workload under a random
+  // scheduler (the scripted Figure 1 worlds run with metrics off).
+  bench::merge_probe(
+      report, bench::run_instrumented_weakener(/*coin_seed=*/0,
+                                               /*sched_seed=*/0, /*k=*/1)
+                  .snapshot);
+  bench::write_report(report);
 }
 
 }  // namespace

@@ -34,6 +34,8 @@ void run() {
               "collects/run", "chain ok", "Thm4.2 bad <=");
   bench::print_rule();
 
+  obs::BenchReport report("snapshot_blunting");
+  obs::JsonArray sweep_rows;
   for (const int k : {1, 2, 3}) {
     const Rational exact = game::solve(game::SnapshotWeakenerGame(k));
     BernoulliEstimator bad;
@@ -67,7 +69,41 @@ void run() {
     std::printf("%6d %12s %12.3f %16.1f %13d/%-2d %18s\n", k,
                 exact.to_string().c_str(), bad.mean(), collects.mean(),
                 chains_ok, chains, bound.to_string().c_str());
+
+    // One instrumented run per k: preamble iterations executed vs kept for
+    // Snapshot^k come from the registry (Scan's collect preamble).
+    {
+      auto w = std::make_unique<sim::World>(
+          sim::Config{.metrics = true}, std::make_unique<sim::SeededCoin>(0));
+      objects::AfekSnapshot snap(
+          "S", *w, {.num_processes = 3, .preamble_iterations = k});
+      objects::AtomicRegister c("C", *w, sim::Value(std::int64_t{-1}));
+      programs::SnapshotWeakenerOutcome out;
+      programs::install_snapshot_weakener(*w, snap, c, out);
+      sim::UniformAdversary adv(11);
+      (void)w->run(adv);
+      report.merge_registry(w->metrics()->snapshot());
+    }
+
+    obs::JsonObject row;
+    row["k"] = obs::Json(k);
+    row["bad_exact"] = obs::Json(exact.to_string());
+    row["bad_exact_double"] = obs::Json(exact.to_double());
+    row["bad_mc"] = obs::Json(bad.mean());
+    row["collects_per_run"] = obs::Json(collects.mean());
+    row["chains_ok"] = obs::Json(chains_ok);
+    row["chains_checked"] = obs::Json(chains);
+    row["thm42_bound"] = obs::Json(bound.to_string());
+    sweep_rows.emplace_back(std::move(row));
+    if (k == 2) {
+      report.set_metric("bad_probability", exact.to_double());
+      report.set_metric_string("bad_probability_exact", exact.to_string());
+      report.set_metric("bad_probability_mc", bad.mean());
+    }
   }
+  report.set_metric_json("sweep", obs::Json(std::move(sweep_rows)));
+  report.set_environment_int("mc_runs_per_k", 150);
+  bench::write_report(report);
   bench::print_rule();
   std::printf(
       "shape: the EXACT optimal-adversary value is 1/2 at every k — the "

@@ -69,6 +69,43 @@ void run() {
     }
     std::printf("\n");
   }
+
+  // Machine-readable twin: the weakener-instance bound series plus an
+  // instrumented simulator probe. This bench is pure arithmetic, so the
+  // "bad probability" reported is the k=2 bound itself.
+  obs::BenchReport report("theorem42_bound");
+  obs::JsonArray bounds;
+  for (const int k : {1, 2, 3, 4, 8, 16, 32, 64}) {
+    const Rational b =
+        core::theorem42_bound(k, 1, 3, Rational(1), Rational(1, 2));
+    obs::JsonObject row;
+    row["k"] = obs::Json(k);
+    row["bound"] = obs::Json(b.to_string());
+    row["bound_double"] = obs::Json(b.to_double());
+    bounds.emplace_back(std::move(row));
+  }
+  const Rational k2 =
+      core::theorem42_bound(2, 1, 3, Rational(1), Rational(1, 2));
+  report.set_metric("bad_probability", k2.to_double());
+  report.set_metric_string("bad_probability_exact", k2.to_string());
+  report.set_metric_json("weakener_bounds", obs::Json(std::move(bounds)));
+  obs::JsonArray tradeoff;
+  for (const double eps : {0.5, 0.25, 0.1, 0.05, 0.01}) {
+    for (const Cfg& c : cfgs) {
+      obs::JsonObject row;
+      row["eps"] = obs::Json(eps);
+      row["r"] = obs::Json(c.r);
+      row["n"] = obs::Json(c.n);
+      row["k"] = obs::Json(core::k_for_fraction(eps, c.r, c.n));
+      tradeoff.emplace_back(std::move(row));
+    }
+  }
+  report.set_metric_json("k_for_fraction", obs::Json(std::move(tradeoff)));
+  bench::merge_probe(
+      report, bench::run_instrumented_weakener(/*coin_seed=*/0,
+                                               /*sched_seed=*/0, /*k=*/2)
+                  .snapshot);
+  bench::write_report(report);
 }
 
 }  // namespace

@@ -1,4 +1,4 @@
-// Shared builders for the benchmark suite.
+// Shared builders and report plumbing for the benchmark suite.
 #pragma once
 
 #include <cstdio>
@@ -7,25 +7,38 @@
 
 #include "adversary/mc_search.hpp"
 #include "objects/abd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "programs/weakener.hpp"
+#include "sim/adversaries.hpp"
 #include "sim/coin.hpp"
 #include "sim/world.hpp"
 
 namespace blunt::bench {
 
+/// Replication width of the weakener's ABD registers (the paper's n = 3).
+/// Shared by make_abd_weakener and the sweep benches so a sweep can vary it
+/// in one place.
+inline constexpr int kWeakenerNumProcesses = 3;
+
 /// Weakener over ABD^k registers, coin seeded for Monte-Carlo trials.
-inline adversary::McInstance make_abd_weakener(std::uint64_t coin_seed,
-                                               int k) {
+/// `num_processes` is the ABD replication width n (not the number of
+/// weakener processes, which Algorithm 1 fixes at three). `metrics` turns on
+/// the world's observability registry (reach it via inst.world->metrics()).
+inline adversary::McInstance make_abd_weakener(
+    std::uint64_t coin_seed, int k,
+    int num_processes = kWeakenerNumProcesses, bool metrics = false) {
   adversary::McInstance inst;
   inst.world = std::make_unique<sim::World>(
-      sim::Config{}, std::make_unique<sim::SeededCoin>(coin_seed));
+      sim::Config{.metrics = metrics},
+      std::make_unique<sim::SeededCoin>(coin_seed));
   auto r = std::make_shared<objects::AbdRegister>(
       "R", *inst.world,
-      objects::AbdRegister::Options{.num_processes = 3,
+      objects::AbdRegister::Options{.num_processes = num_processes,
                                     .preamble_iterations = k});
   auto c = std::make_shared<objects::AbdRegister>(
       "C", *inst.world,
-      objects::AbdRegister::Options{.num_processes = 3,
+      objects::AbdRegister::Options{.num_processes = num_processes,
                                     .initial = sim::Value(std::int64_t{-1}),
                                     .preamble_iterations = k});
   auto out = std::make_shared<programs::WeakenerOutcome>();
@@ -33,6 +46,62 @@ inline adversary::McInstance make_abd_weakener(std::uint64_t coin_seed,
   inst.bad = [out] { return out->looped(); };
   inst.owned = {r, c, out};
   return inst;
+}
+
+/// One metrics-enabled weakener-over-ABD^k run under a uniformly random
+/// scheduler: the representative instrumented run whose registry snapshot
+/// every report carries (step counts by kind, messages, quorum round trips,
+/// preamble iterations, invocation latencies).
+struct ProbeRun {
+  obs::MetricsSnapshot snapshot;
+  sim::RunStatus status = sim::RunStatus::kCompleted;
+  int steps = 0;
+  bool bad = false;
+};
+
+inline ProbeRun run_instrumented_weakener(
+    std::uint64_t coin_seed, std::uint64_t sched_seed, int k,
+    int num_processes = kWeakenerNumProcesses) {
+  adversary::McInstance inst =
+      make_abd_weakener(coin_seed, k, num_processes, /*metrics=*/true);
+  sim::UniformAdversary adv(sched_seed);
+  const sim::RunResult res = inst.world->run(adv);
+  ProbeRun probe;
+  probe.snapshot = inst.world->metrics()->snapshot();
+  probe.status = res.status;
+  probe.steps = res.steps;
+  probe.bad = inst.bad();
+  return probe;
+}
+
+/// Guarantees the canonical cross-bench counters exist (as zeros) even when
+/// a workload never exercises them — e.g. atomic-register benches send no
+/// messages — so every BENCH_*.json exposes the same counter keys.
+inline void ensure_canonical_counters(obs::MetricsSnapshot& s) {
+  for (const char* name :
+       {obs::kMessagesSent, obs::kMessagesDelivered, obs::kMessagesDropped,
+        obs::kQuorumRoundTrips, obs::kPreambleExecuted, obs::kPreambleKept,
+        obs::kRandomDraws}) {
+    s.counters.emplace(name, 0);
+  }
+}
+
+/// Merges an instrumented run into the report's registry section, with the
+/// canonical counters guaranteed present.
+inline void merge_probe(obs::BenchReport& report, obs::MetricsSnapshot s) {
+  ensure_canonical_counters(s);
+  report.merge_registry(s);
+}
+
+/// Writes BENCH_<name>.json and echoes where it went (kept on one line so
+/// the human tables above stay the primary console artifact).
+inline void write_report(obs::BenchReport& report) {
+  try {
+    const std::string path = report.write();
+    std::printf("\nbench report: %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench report FAILED: %s\n", e.what());
+  }
 }
 
 inline void print_header(const std::string& title) {

@@ -24,13 +24,14 @@
 namespace blunt {
 namespace {
 
-void vitanyi_part() {
+void vitanyi_part(obs::BenchReport& report) {
   bench::print_header(
       "E9a: weakener over Vitanyi-Awerbuch MWMR registers (Section 5.3)");
   bench::print_rule();
   std::printf("%6s %12s %12s %14s %12s\n", "k", "exact bad", "MC bad",
               "steps/run", "chains ok");
   bench::print_rule();
+  obs::JsonArray va_rows;
   for (const int k : {1, 2, 3}) {
     const Rational exact = game::solve(game::VaPhaseWeakenerGame(k));
     BernoulliEstimator bad;
@@ -68,7 +69,43 @@ void vitanyi_part() {
     std::printf("%6d %12s %12.3f %14.1f %9d/%-2d\n", k,
                 exact.to_string().c_str(), bad.mean(), steps.mean(),
                 chains_ok, chains);
+
+    // One instrumented VA-weakener run per k for the registry section
+    // (preamble iterations come from the shared transform preamble).
+    {
+      auto w = std::make_unique<sim::World>(
+          sim::Config{.metrics = true}, std::make_unique<sim::SeededCoin>(0));
+      objects::VitanyiRegister r("R", *w,
+                                 {.num_processes = 3,
+                                  .preamble_iterations = k});
+      objects::VitanyiRegister c(
+          "C", *w,
+          {.num_processes = 3,
+           .initial = sim::Value(std::int64_t{-1}),
+           .preamble_iterations = k});
+      programs::WeakenerOutcome out;
+      programs::install_weakener(*w, r, c, out);
+      sim::UniformAdversary adv(13);
+      (void)w->run(adv);
+      report.merge_registry(w->metrics()->snapshot());
+    }
+
+    obs::JsonObject row;
+    row["k"] = obs::Json(k);
+    row["bad_exact"] = obs::Json(exact.to_string());
+    row["bad_exact_double"] = obs::Json(exact.to_double());
+    row["bad_mc"] = obs::Json(bad.mean());
+    row["steps_per_run"] = obs::Json(steps.mean());
+    row["chains_ok"] = obs::Json(chains_ok);
+    row["chains_checked"] = obs::Json(chains);
+    va_rows.emplace_back(std::move(row));
+    if (k == 2) {
+      report.set_metric("bad_probability", exact.to_double());
+      report.set_metric_string("bad_probability_exact", exact.to_string());
+      report.set_metric("bad_probability_mc", bad.mean());
+    }
   }
+  report.set_metric_json("vitanyi_sweep", obs::Json(std::move(va_rows)));
   bench::print_rule();
   std::printf(
       "beyond-paper: the EXACT optimal-adversary value is 1/2 for every k — "
@@ -78,13 +115,14 @@ void vitanyi_part() {
       "exploitable by every program; Theorem 4.2 holds a fortiori.\n");
 }
 
-void israeli_li_part() {
+void israeli_li_part(obs::BenchReport& report) {
   bench::print_header(
       "E9b: Israeli-Li multi-reader register soak (Section 5.4)");
   bench::print_rule();
   std::printf("%6s %14s %16s %12s\n", "k", "lin ok", "object randoms",
               "chains ok");
   bench::print_rule();
+  obs::JsonArray il_rows;
   for (const int k : {1, 2, 3}) {
     int lin_ok = 0;
     int runs = 0;
@@ -124,7 +162,41 @@ void israeli_li_part() {
     }
     std::printf("%6d %9d/%-4d %16.1f %9d/%-2d\n", k, lin_ok, runs,
                 randoms.mean(), chains_ok, chains);
+
+    // One instrumented IL soak run per k (read preamble iterations, step
+    // kinds; IL is shared-memory, so net.* counters stay zero).
+    {
+      auto w = std::make_unique<sim::World>(
+          sim::Config{.metrics = true}, std::make_unique<sim::SeededCoin>(0));
+      objects::IsraeliLiRegister reg(
+          "R", *w,
+          {.num_readers = 2, .writer = 2, .preamble_iterations = k});
+      for (Pid pid = 0; pid < 2; ++pid) {
+        w->add_process("r" + std::to_string(pid),
+                       [&reg](sim::Proc p) -> sim::Task<void> {
+                         (void)co_await reg.read(p);
+                         (void)co_await reg.read(p);
+                       });
+      }
+      w->add_process("w", [&reg](sim::Proc p) -> sim::Task<void> {
+        co_await reg.write(p, sim::Value(std::int64_t{1}));
+        co_await reg.write(p, sim::Value(std::int64_t{2}));
+      });
+      sim::UniformAdversary adv(17);
+      (void)w->run(adv);
+      report.merge_registry(w->metrics()->snapshot());
+    }
+
+    obs::JsonObject row;
+    row["k"] = obs::Json(k);
+    row["linearizable"] = obs::Json(lin_ok);
+    row["runs"] = obs::Json(runs);
+    row["object_randoms_per_run"] = obs::Json(randoms.mean());
+    row["chains_ok"] = obs::Json(chains_ok);
+    row["chains_checked"] = obs::Json(chains);
+    il_rows.emplace_back(std::move(row));
   }
+  report.set_metric_json("israeli_li_soak", obs::Json(std::move(il_rows)));
   bench::print_rule();
   std::printf(
       "note: IL is single-writer, so Algorithm 1 does not apply to it; the "
@@ -138,7 +210,11 @@ void israeli_li_part() {
 }  // namespace blunt
 
 int main() {
-  blunt::vitanyi_part();
-  blunt::israeli_li_part();
+  blunt::obs::BenchReport report("vitanyi_il_blunting");
+  blunt::vitanyi_part(report);
+  blunt::israeli_li_part(report);
+  report.set_environment_int("va_mc_runs_per_k", 200);
+  report.set_environment_int("il_soak_runs_per_k", 200);
+  blunt::bench::write_report(report);
   return 0;
 }

@@ -7,12 +7,24 @@ namespace blunt::adversary {
 
 McSearchResult search_random_adversaries(const McFactory& factory,
                                          int scheduler_seeds,
-                                         int trials_per_seed) {
+                                         int trials_per_seed,
+                                         obs::MetricsRegistry* metrics) {
   BLUNT_ASSERT(scheduler_seeds >= 1 && trials_per_seed >= 1,
                "need at least one seed and one trial");
+  obs::Counter* trials_counter = nullptr;
+  obs::Counter* schedules_counter = nullptr;
+  obs::Counter* bad_counter = nullptr;
+  obs::Histogram* steps_hist = nullptr;
+  if (metrics != nullptr) {
+    trials_counter = metrics->counter(obs::kMcTrials);
+    schedules_counter = metrics->counter(obs::kMcSchedulesExplored);
+    bad_counter = metrics->counter(obs::kMcBadOutcomes);
+    steps_hist = metrics->histogram(obs::kMcStepsPerTrial);
+  }
   McSearchResult res;
   for (std::uint64_t s = 0; s < static_cast<std::uint64_t>(scheduler_seeds);
        ++s) {
+    if (schedules_counter != nullptr) schedules_counter->inc();
     BernoulliEstimator est;
     for (std::uint64_t t = 0;
          t < static_cast<std::uint64_t>(trials_per_seed); ++t) {
@@ -25,6 +37,11 @@ McSearchResult search_random_adversaries(const McFactory& factory,
       const bool bad = inst.bad();
       est.add(bad);
       res.pooled.add(bad);
+      if (metrics != nullptr) {
+        trials_counter->inc();
+        if (bad) bad_counter->inc();
+        steps_hist->observe(static_cast<double>(r.steps));
+      }
     }
     if (est.mean() > res.best_rate) {
       res.best_rate = est.mean();

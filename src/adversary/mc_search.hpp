@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
 #include "sim/world.hpp"
 
 namespace blunt::adversary {
@@ -39,7 +40,13 @@ struct McSearchResult {
 /// For each scheduler seed, runs `trials_per_seed` coin-seeded trials under a
 /// uniformly random scheduler, and reports the best per-seed rate and the
 /// pooled estimate.
+///
+/// `metrics` (optional) receives the search-level observability counters:
+/// mc.trials, mc.schedules_explored (scheduler seeds tried), mc.bad_outcomes,
+/// and the mc.steps_per_trial histogram of scheduler steps per completed
+/// trial.
 [[nodiscard]] McSearchResult search_random_adversaries(
-    const McFactory& factory, int scheduler_seeds, int trials_per_seed);
+    const McFactory& factory, int scheduler_seeds, int trials_per_seed,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace blunt::adversary

@@ -28,6 +28,45 @@ void RunningStats::add(double x) {
   }
   ++count_;
   sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile_from_buckets(const std::vector<double>& upper_bounds,
+                               const std::vector<std::int64_t>& counts,
+                               double q) {
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts) total += c;
+  if (total == 0 || upper_bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-quantile in the cumulative distribution, 1-based.
+  const double rank = q * static_cast<double>(total);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::int64_t prev = cum;
+    cum += counts[i];
+    if (static_cast<double>(cum) >= rank) {
+      const double hi =
+          i < upper_bounds.size() ? upper_bounds[i] : upper_bounds.back();
+      if (i >= upper_bounds.size()) return hi;  // overflow bucket: clamp
+      const double lo = i == 0 ? 0.0 : upper_bounds[i - 1];
+      if (counts[i] == 0) return hi;
+      const double frac = (rank - static_cast<double>(prev)) /
+                          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+  }
+  return upper_bounds.back();
+}
+
+Percentiles percentiles_from_buckets(const std::vector<double>& upper_bounds,
+                                     const std::vector<std::int64_t>& counts) {
+  return {percentile_from_buckets(upper_bounds, counts, 0.50),
+          percentile_from_buckets(upper_bounds, counts, 0.90),
+          percentile_from_buckets(upper_bounds, counts, 0.99)};
 }
 
 }  // namespace blunt

@@ -1,10 +1,12 @@
 // Small statistics helpers for Monte-Carlo experiments: sample means,
 // Wilson confidence intervals for Bernoulli estimates, and a running
 // accumulator. Benches use these to report termination-probability estimates
-// with confidence intervals next to the paper's exact values.
+// with confidence intervals next to the paper's exact values; the obs
+// metrics histograms build on RunningStats and the bucket-percentile helper.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace blunt {
 
@@ -43,8 +45,9 @@ class BernoulliEstimator {
   std::int64_t trials_ = 0;
 };
 
-/// Running mean/min/max for real-valued samples (step counts, message
-/// counts).
+/// Running mean/min/max/variance for real-valued samples (step counts,
+/// message counts, latencies). Variance uses Welford's online algorithm, so
+/// long accumulations stay numerically stable.
 class RunningStats {
  public:
   void add(double x);
@@ -53,12 +56,41 @@ class RunningStats {
   [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }
+  /// Population variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double stddev() const;
 
  private:
   std::int64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  double mean_ = 0.0;  // Welford running mean
+  double m2_ = 0.0;    // Welford sum of squared deviations
 };
+
+/// The quantiles benches report by convention.
+struct Percentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Quantile estimate from a fixed-bucket histogram: `upper_bounds[i]` is the
+/// inclusive upper edge of bucket i (strictly increasing; the final bucket
+/// catches everything above the last bound), `counts[i]` its occupancy.
+/// Interpolates linearly within the bucket containing the q-quantile
+/// (0 <= q <= 1); returns 0 for an empty histogram. The overflow bucket has
+/// no upper edge, so values landing there clamp to the last finite bound.
+[[nodiscard]] double percentile_from_buckets(
+    const std::vector<double>& upper_bounds,
+    const std::vector<std::int64_t>& counts, double q);
+
+/// p50/p90/p99 in one pass over the bucket array.
+[[nodiscard]] Percentiles percentiles_from_buckets(
+    const std::vector<double>& upper_bounds,
+    const std::vector<std::int64_t>& counts);
 
 }  // namespace blunt

@@ -48,6 +48,11 @@ sim::Task<Locals> iterate_preamble(sim::Proc p, InvocationId inv, int k,
   if (k > 1) {
     j = co_await p.random(k, std::move(what), inv);
   }
+  if (obs::MetricsRegistry* m = p.world().metrics()) {
+    // k preamble executions, one kept — the direct O^k transformation cost.
+    m->counter(obs::kPreambleExecuted)->inc(k);
+    m->counter(obs::kPreambleKept)->inc();
+  }
   co_return std::move(locals[static_cast<std::size_t>(j)]);
 }
 

@@ -24,6 +24,7 @@
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/delivery.hpp"
 #include "sim/trace.hpp"
 
@@ -41,10 +42,19 @@ class Network final : public sim::DeliverySource {
   using Handler = std::function<void(Pid, Pid, const M&)>;
 
   /// `trace` may be null (no recording); normally the World's trace.
-  Network(std::string name, int num_processes, sim::Trace* trace)
+  /// `metrics` may be null (normally World::metrics(), also null when
+  /// observability is off); when set, sends/deliveries/drops feed the
+  /// net.* counters shared by every network on the registry.
+  Network(std::string name, int num_processes, sim::Trace* trace,
+          obs::MetricsRegistry* metrics = nullptr)
       : name_(std::move(name)), num_processes_(num_processes), trace_(trace) {
     BLUNT_ASSERT(num_processes_ > 0, "Network with no processes");
     handlers_.resize(static_cast<std::size_t>(num_processes_));
+    if (metrics != nullptr) {
+      sent_counter_ = metrics->counter(obs::kMessagesSent);
+      delivered_counter_ = metrics->counter(obs::kMessagesDelivered);
+      dropped_counter_ = metrics->counter(obs::kMessagesDropped);
+    }
   }
 
   void set_handler(Pid pid, Handler h) {
@@ -57,7 +67,11 @@ class Network final : public sim::DeliverySource {
     check_pid(from);
     check_pid(to);
     ++messages_sent_;
-    if (crashed_.contains(to)) return;  // dropped
+    if (sent_counter_ != nullptr) sent_counter_->inc();
+    if (crashed_.contains(to)) {  // dropped
+      if (dropped_counter_ != nullptr) dropped_counter_->inc();
+      return;
+    }
     const int id = next_id_++;
     if (trace_ != nullptr) {
       trace_->append({.pid = from,
@@ -92,6 +106,7 @@ class Network final : public sim::DeliverySource {
     BLUNT_ASSERT(!crashed_.contains(env.to),
                  "deliver to crashed p" << env.to);
     ++messages_delivered_;
+    if (delivered_counter_ != nullptr) delivered_counter_->inc();
     const Handler& h = handlers_[static_cast<std::size_t>(env.to)];
     BLUNT_ASSERT(h, "no handler registered for p" << env.to << " on "
                                                   << name_);
@@ -102,6 +117,7 @@ class Network final : public sim::DeliverySource {
     crashed_.insert(pid);
     for (auto it = in_transit_.begin(); it != in_transit_.end();) {
       if (it->second.to == pid) {
+        if (dropped_counter_ != nullptr) dropped_counter_->inc();
         it = in_transit_.erase(it);
       } else {
         ++it;
@@ -134,6 +150,9 @@ class Network final : public sim::DeliverySource {
   std::string name_;
   int num_processes_;
   sim::Trace* trace_;
+  obs::Counter* sent_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
   std::vector<Handler> handlers_;
   std::map<int, Envelope> in_transit_;  // keyed by id => canonical order
   std::set<Pid> crashed_;

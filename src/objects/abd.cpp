@@ -33,11 +33,16 @@ AbdRegister::AbdRegister(std::string name, sim::World& w, Options opts)
       opts_(opts),
       object_id_(w.register_object(name_)),
       quorum_(opts.num_processes / 2 + 1),
-      net_(name_, opts.num_processes, &w.trace_mutable()),
+      net_(name_, opts.num_processes, &w.trace_mutable(), w.metrics()),
       servers_(static_cast<std::size_t>(opts.num_processes)),
       clients_(static_cast<std::size_t>(opts.num_processes)) {
   BLUNT_ASSERT(opts_.num_processes >= 1, "ABD needs processes");
   BLUNT_ASSERT(opts_.preamble_iterations >= 1, "k must be >= 1");
+  if (obs::MetricsRegistry* m = w.metrics()) {
+    quorum_round_trips_ = m->counter(obs::kQuorumRoundTrips);
+    preamble_executed_ = m->counter(obs::kPreambleExecuted);
+    preamble_kept_ = m->counter(obs::kPreambleKept);
+  }
   for (auto& s : servers_) s.val = opts_.initial;
   for (Pid pid = 0; pid < opts_.num_processes; ++pid) {
     net_.set_handler(pid, [this](Pid to, Pid from, const AbdMessage& m) {
@@ -104,6 +109,7 @@ sim::Task<std::pair<sim::Value, Timestamp>> AbdRegister::query_phase(
                static_cast<int>(it->second.size()) >= quorum_;
       },
       name_ + ".query-quorum", inv);
+  if (quorum_round_trips_ != nullptr) quorum_round_trips_->inc();
   // Line 9: pair in reply with the largest timestamp, over the replies
   // received by the time this step is scheduled.
   const auto& replies = cli.replies[sn];
@@ -128,6 +134,7 @@ sim::Task<void> AbdRegister::update_phase(sim::Proc p, InvocationId inv,
         return it != c.acks.end() && it->second >= quorum_;
       },
       name_ + ".update-quorum", inv);
+  if (quorum_round_trips_ != nullptr) quorum_round_trips_->inc();
 }
 
 sim::Task<sim::Value> AbdRegister::read(sim::Proc p) {
@@ -143,6 +150,10 @@ sim::Task<sim::Value> AbdRegister::read(sim::Proc p) {
   // deterministic.
   int j = 0;
   if (k > 1) j = co_await p.random(k, name_ + ".choose-iteration", inv);
+  if (preamble_executed_ != nullptr) {
+    preamble_executed_->inc(k);  // k query phases ran; one result survives —
+    preamble_kept_->inc();       // the direct cost of the O^k transformation
+  }
   auto [v, u] = results[static_cast<std::size_t>(j)];
   world_.mark_line(inv, kReadPreambleLine);
   co_await update_phase(p, inv, v, u);  // line 23: write-back
@@ -174,6 +185,10 @@ sim::Task<void> AbdRegister::write(sim::Proc p, sim::Value v) {
   }
   int j = 0;
   if (k > 1) j = co_await p.random(k, name_ + ".choose-iteration", inv);
+  if (preamble_executed_ != nullptr) {
+    preamble_executed_->inc(k);
+    preamble_kept_->inc();
+  }
   const std::int64_t t = stamps[static_cast<std::size_t>(j)].number;
   world_.mark_line(inv, kWritePreambleLine);
   // Line 27: new timestamp (t + 1, i).

@@ -115,6 +115,10 @@ class AbdRegister final : public RegisterObject {
   Options opts_;
   int object_id_;
   int quorum_;
+  // Observability (null when the World's metrics are off).
+  obs::Counter* quorum_round_trips_ = nullptr;
+  obs::Counter* preamble_executed_ = nullptr;
+  obs::Counter* preamble_kept_ = nullptr;
   net::Network<AbdMessage> net_;
   std::vector<Server> servers_;
   std::vector<Client> clients_;

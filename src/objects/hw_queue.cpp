@@ -44,6 +44,10 @@ sim::Task<void> HwQueue::enqueue(sim::Proc p, std::int64_t v) {
   }
   int j = 0;
   if (k > 1) j = co_await p.random(k, name_ + ".choose-slot", inv);
+  if (obs::MetricsRegistry* m = world_.metrics()) {
+    m->counter(obs::kPreambleExecuted)->inc(k);
+    m->counter(obs::kPreambleKept)->inc();
+  }
   world_.mark_line(inv, 50);
   // Roll back the k-1 unused reservations...
   for (int i = 0; i < k; ++i) {

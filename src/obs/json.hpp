@@ -1,0 +1,96 @@
+// Minimal JSON document model: enough of RFC 8259 for the observability
+// layer's needs (trace export, bench reports, round-trip tests) with no
+// external dependency. Numbers distinguish integers from doubles so trace
+// indices and counters survive a round trip bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace blunt::obs {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// std::map keeps object keys sorted — report files diff cleanly across runs.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  using Storage = std::variant<std::nullptr_t, bool, std::int64_t, double,
+                               std::string, JsonArray, JsonObject>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(std::int64_t i) : v_(i) {}
+  Json(std::size_t i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(double d) : v_(d) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(JsonArray a) : v_(std::move(a)) {}
+  Json(JsonObject o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_int() const {
+    return std::holds_alternative<std::int64_t>(v_);
+  }
+  [[nodiscard]] bool is_double() const {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<JsonArray>(v_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<JsonObject>(v_);
+  }
+
+  // Typed accessors; throw std::runtime_error on kind mismatch so malformed
+  // imports fail loudly rather than propagating defaults.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;  // accepts integral doubles
+  [[nodiscard]] double as_double() const;     // accepts ints
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] JsonArray& as_array();
+  [[nodiscard]] const JsonObject& as_object() const;
+  [[nodiscard]] JsonObject& as_object();
+
+  /// Object member access; `at` throws on a missing key, `find` returns
+  /// nullptr.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] const Json* find(const std::string& key) const;
+
+  /// Compact serialization (no insignificant whitespace) when indent < 0;
+  /// pretty-printed with `indent` spaces per level otherwise.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict parse of exactly one document (trailing non-space input is an
+  /// error). Throws std::runtime_error with an offset on malformed input.
+  [[nodiscard]] static Json parse(const std::string& text);
+
+  friend bool operator==(const Json& a, const Json& b) { return a.v_ == b.v_; }
+
+ private:
+  Storage v_;
+};
+
+/// Escapes and quotes `s` as a JSON string literal (UTF-8 passed through).
+[[nodiscard]] std::string json_quote(const std::string& s);
+
+}  // namespace blunt::obs

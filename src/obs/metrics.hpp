@@ -1,0 +1,199 @@
+// Lightweight metrics registry: counters, gauges, and fixed-bucket
+// histograms.
+//
+// Design constraints, in order:
+//   1. Near-zero overhead when observability is off. The registry is only
+//      ever reached through a nullable pointer (sim::World holds nullptr
+//      unless Config::metrics is set), so the disabled cost is one branch.
+//   2. No link dependency. Everything here is header-only on top of
+//      common/stats.hpp, so blunt_sim can instrument itself while the
+//      exporters (blunt_obs) link against blunt_sim — no cycle.
+//   3. Cheap hot path when enabled. Name lookup happens once, at
+//      registration; instrumented code caches the returned Counter* /
+//      Histogram* (stable for the registry's lifetime) and increments
+//      through it.
+//
+// Determinism note: metrics are observational only. Nothing in the simulator
+// reads them back, so enabling metrics cannot perturb a schedule — the same
+// (coin sequence, event choices) produce the same execution with metrics on
+// or off. Tests rely on this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace blunt::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram with running moments. Bucket i counts samples in
+/// (upper_bounds[i-1], upper_bounds[i]]; one implicit overflow bucket catches
+/// everything above the last bound. Percentiles are interpolated from the
+/// buckets (common/stats.hpp), exact moments come from RunningStats.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds)
+      : upper_bounds_(std::move(upper_bounds)),
+        counts_(upper_bounds_.size() + 1, 0) {
+    BLUNT_ASSERT(!upper_bounds_.empty(), "histogram needs at least 1 bucket");
+    for (std::size_t i = 1; i < upper_bounds_.size(); ++i) {
+      BLUNT_ASSERT(upper_bounds_[i - 1] < upper_bounds_[i],
+                   "histogram bounds must be strictly increasing");
+    }
+  }
+
+  void observe(double x) {
+    std::size_t i = 0;
+    while (i < upper_bounds_.size() && x > upper_bounds_[i]) ++i;
+    ++counts_[i];
+    stats_.add(x);
+  }
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return upper_bounds_;
+  }
+  /// Bucket occupancies; one longer than upper_bounds() (overflow bucket).
+  [[nodiscard]] const std::vector<std::int64_t>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] const RunningStats& stats() const { return stats_; }
+  [[nodiscard]] Percentiles percentiles() const {
+    return percentiles_from_buckets(upper_bounds_, counts_);
+  }
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::int64_t> counts_;
+  RunningStats stats_;
+};
+
+/// Default buckets for latencies measured in scheduler steps: powers of two
+/// up to 16384 steps (a weakener invocation completes in tens of steps; the
+/// consensus workloads reach a few thousand).
+[[nodiscard]] inline std::vector<double> step_latency_buckets() {
+  std::vector<double> b;
+  for (double edge = 1.0; edge <= 16384.0; edge *= 2.0) b.push_back(edge);
+  return b;
+}
+
+/// Point-in-time copy of everything a registry holds, decoupled from metric
+/// object lifetimes. This is what reports serialize and tests assert on.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> upper_bounds;
+    std::vector<std::int64_t> counts;  // one overflow bucket at the back
+    std::int64_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    Percentiles percentiles;
+  };
+
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  [[nodiscard]] std::int64_t counter_or(const std::string& name,
+                                        std::int64_t fallback) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? fallback : it->second;
+  }
+};
+
+/// Owns metrics by name. Pointers returned by counter()/gauge()/histogram()
+/// stay valid for the registry's lifetime, so instrumented code registers
+/// once and increments branch-free afterwards.
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name) {
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return slot.get();
+  }
+
+  Gauge* gauge(const std::string& name) {
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return slot.get();
+  }
+
+  /// Registers (or finds) a histogram. The bounds argument only matters on
+  /// first registration; later calls return the existing instance.
+  Histogram* histogram(const std::string& name,
+                       std::vector<double> upper_bounds = {}) {
+    auto& slot = histograms_[name];
+    if (!slot) {
+      if (upper_bounds.empty()) upper_bounds = step_latency_buckets();
+      slot = std::make_unique<Histogram>(std::move(upper_bounds));
+    }
+    return slot.get();
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const {
+    MetricsSnapshot s;
+    for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+    for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+    for (const auto& [name, h] : histograms_) {
+      MetricsSnapshot::HistogramData d;
+      d.upper_bounds = h->upper_bounds();
+      d.counts = h->counts();
+      d.count = h->stats().count();
+      d.mean = h->stats().mean();
+      d.stddev = h->stats().stddev();
+      d.min = h->stats().min();
+      d.max = h->stats().max();
+      d.percentiles = h->percentiles();
+      s.histograms[name] = std::move(d);
+    }
+    return s;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Canonical metric names shared by the instrumentation sites and the bench
+// reports. Keep these in sync with the schema documented in EXPERIMENTS.md.
+inline constexpr const char* kStepsByKindPrefix = "sim.steps.";
+inline constexpr const char* kInvocationLatency = "sim.invocation.latency_steps";
+inline constexpr const char* kRandomDraws = "sim.random_draws";
+inline constexpr const char* kMessagesSent = "net.messages_sent";
+inline constexpr const char* kMessagesDelivered = "net.messages_delivered";
+inline constexpr const char* kMessagesDropped = "net.messages_dropped";
+inline constexpr const char* kQuorumRoundTrips = "net.quorum_round_trips";
+inline constexpr const char* kPreambleExecuted = "obj.preamble_iterations_executed";
+inline constexpr const char* kPreambleKept = "obj.preamble_iterations_kept";
+inline constexpr const char* kMcTrials = "mc.trials";
+inline constexpr const char* kMcSchedulesExplored = "mc.schedules_explored";
+inline constexpr const char* kMcBadOutcomes = "mc.bad_outcomes";
+inline constexpr const char* kMcStepsPerTrial = "mc.steps_per_trial";
+
+}  // namespace blunt::obs

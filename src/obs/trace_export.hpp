@@ -1,0 +1,54 @@
+// Structured export of simulation traces.
+//
+// Two formats:
+//   * JSONL — one compact JSON object per trace entry, in trace order. This
+//     is the machine-readable twin of Trace::to_string() and round-trips:
+//     trace_from_jsonl(trace_to_jsonl(t)) reproduces every entry.
+//   * Chrome trace-event JSON — a JSON array loadable by chrome://tracing
+//     (or https://ui.perfetto.dev). Processes map to tracks, method
+//     invocations become complete ("X") slices spanning call→return, and
+//     every trace entry becomes an instant ("i") event. Timestamps are trace
+//     indices (the simulator's logical clock), not wall time.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "sim/trace.hpp"
+#include "sim/world.hpp"
+
+namespace blunt::obs {
+
+/// Value <-> JSON. ⊥ maps to null, ints to numbers, snapshot views to
+/// arrays, strings to strings — the four variant alternatives are disjoint
+/// JSON kinds, so decoding is unambiguous.
+[[nodiscard]] Json value_to_json(const sim::Value& v);
+[[nodiscard]] sim::Value value_from_json(const Json& j);
+
+[[nodiscard]] Json trace_entry_to_json(const sim::TraceEntry& e);
+[[nodiscard]] sim::TraceEntry trace_entry_from_json(const Json& j);
+
+/// One JSON object per line, '\n'-terminated, in trace order.
+[[nodiscard]] std::string trace_to_jsonl(const sim::Trace& t);
+
+/// Inverse of trace_to_jsonl. Throws std::runtime_error on malformed lines
+/// or non-dense indices (entry i must carry index i).
+[[nodiscard]] sim::Trace trace_from_jsonl(const std::string& jsonl);
+
+/// Chrome trace-event document for a finished (or in-progress) run:
+/// a JSON array of metadata, complete, and instant events.
+[[nodiscard]] Json chrome_trace_events(const sim::World& w);
+
+/// chrome_trace_events rendered to text, ready to save and load in
+/// chrome://tracing.
+[[nodiscard]] std::string chrome_trace_json(const sim::World& w);
+
+/// Parses "spawn", "deliver", ... back to the StepKind enum; throws on an
+/// unknown name. Inverse of sim::to_string(StepKind).
+[[nodiscard]] sim::StepKind step_kind_from_string(const std::string& s);
+
+/// Writes `content` to `path`, replacing any existing file. Throws
+/// std::runtime_error when the file cannot be opened.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace blunt::obs

@@ -34,6 +34,9 @@ enum class StepKind {
   kCrash,          // process crashed
 };
 
+/// Number of StepKind alternatives (metrics arrays index by kind).
+inline constexpr int kNumStepKinds = static_cast<int>(StepKind::kCrash) + 1;
+
 [[nodiscard]] const char* to_string(StepKind k);
 
 struct TraceEntry {

@@ -16,6 +16,16 @@ const char* to_string(RunStatus s) {
 World::World(Config cfg, std::unique_ptr<CoinSource> coins)
     : cfg_(cfg), coins_(std::move(coins)) {
   BLUNT_ASSERT(coins_ != nullptr, "World needs a CoinSource");
+  if (cfg_.metrics) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    for (int k = 0; k < kNumStepKinds; ++k) {
+      const StepKind kind = static_cast<StepKind>(k);
+      step_counters_[static_cast<std::size_t>(k)] = metrics_->counter(
+          std::string(obs::kStepsByKindPrefix) + to_string(kind));
+    }
+    random_draw_counter_ = metrics_->counter(obs::kRandomDraws);
+    inv_latency_ = metrics_->histogram(obs::kInvocationLatency);
+  }
 }
 
 World::~World() = default;
@@ -130,6 +140,7 @@ void World::execute(const Event& e) {
                      .what = e.what,
                      .inv = -1,
                      .value = {}});
+      count_step(StepKind::kDeliver);
       sources_[e.source_id]->deliver(e.msg_id);
       break;
     }
@@ -148,6 +159,7 @@ void World::execute(const Event& e) {
                      .what = "crash",
                      .inv = -1,
                      .value = {}});
+      count_step(StepKind::kCrash);
       for (DeliverySource* src : sources_) src->on_crash(e.pid);
       break;
     }
@@ -165,6 +177,7 @@ void World::resume_slot(Pid pid) {
                      .what = s.name,
                      .inv = -1,
                      .value = {}});
+      count_step(StepKind::kSpawn);
       h = s.root.handle();
       break;
     case ProcState::kReady:
@@ -176,6 +189,12 @@ void World::resume_slot(Pid pid) {
                        .what = s.pending_what,
                        .inv = s.pending_inv,
                        .value = Value(std::int64_t{s.random_value})});
+        count_step(StepKind::kRandom);
+        if (metrics_) random_draw_counter_->inc();
+      } else {
+        // Plain resume: attribute the step to the kind the process parked
+        // with (the effect it performs right after resuming).
+        count_step(s.pending_kind);
       }
       h = s.parked;
       break;
@@ -188,6 +207,7 @@ void World::resume_slot(Pid pid) {
                      .what = s.pending_what,
                      .inv = s.pending_inv,
                      .value = {}});
+      count_step(StepKind::kWaitResume);
       h = s.parked;
       break;
     default:
@@ -262,6 +282,15 @@ void World::end_invocation(InvocationId id, Value result) {
                      .what = rec.object_name + "." + rec.method,
                      .inv = id,
                      .value = std::move(result)});
+  if (metrics_) {
+    // Call-to-return latency in scheduler steps, read off the trace stamps.
+    const auto& entries = trace_.entries();
+    const int call_step =
+        entries[static_cast<std::size_t>(rec.call_index)].sched_step;
+    const int return_step =
+        entries[static_cast<std::size_t>(rec.return_index)].sched_step;
+    inv_latency_->observe(static_cast<double>(return_step - call_step));
+  }
 }
 
 void World::mark_line(InvocationId id, int line) {

@@ -22,6 +22,7 @@
 // semantics of Section 2.1.
 #pragma once
 
+#include <array>
 #include <coroutine>
 #include <functional>
 #include <memory>
@@ -31,6 +32,7 @@
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/coin.hpp"
 #include "sim/delivery.hpp"
 #include "sim/event.hpp"
@@ -48,6 +50,11 @@ struct Config {
   int max_steps = 200000;
   /// How many processes the adversary may crash (0 = crash events disabled).
   int max_crashes = 0;
+  /// Observability: when set, the World owns an obs::MetricsRegistry and
+  /// records scheduler steps by kind, invocation latencies, and random
+  /// draws (objects and networks hook in through World::metrics()). Off by
+  /// default — the disabled cost on the step path is one null check.
+  bool metrics = false;
 };
 
 enum class RunStatus {
@@ -141,6 +148,11 @@ class World {
   // -- Observation (adversaries, checkers, tests) --
 
   [[nodiscard]] const Config& config() const { return cfg_; }
+  /// The metrics registry, or nullptr when Config::metrics is off.
+  /// Instrumentation sites (networks, objects) must tolerate nullptr.
+  [[nodiscard]] obs::MetricsRegistry* metrics() const {
+    return metrics_.get();
+  }
   [[nodiscard]] const Trace& trace() const { return trace_; }
   [[nodiscard]] Trace& trace_mutable() { return trace_; }
   [[nodiscard]] const std::vector<InvocationRecord>& invocations() const {
@@ -210,9 +222,18 @@ class World {
   };
 
   void resume_slot(Pid pid);
+  void count_step(StepKind kind) {
+    if (metrics_) step_counters_[static_cast<std::size_t>(kind)]->inc();
+  }
 
   Config cfg_;
   std::unique_ptr<CoinSource> coins_;
+  // Observability (null / unset unless cfg_.metrics): counter per StepKind
+  // cached at construction so the hot path is one branch + one increment.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::array<obs::Counter*, kNumStepKinds> step_counters_{};
+  obs::Counter* random_draw_counter_ = nullptr;
+  obs::Histogram* inv_latency_ = nullptr;
   std::vector<Slot> slots_;
   std::vector<DeliverySource*> sources_;
   std::vector<std::string> object_names_;

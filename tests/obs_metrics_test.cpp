@@ -1,0 +1,135 @@
+// Unit tests for the observability metrics registry and the bench-report
+// schema (src/obs).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace blunt::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAdds) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (bounds are inclusive upper edges)
+  h.observe(1.5);   // bucket 1
+  h.observe(100.0); // overflow
+  ASSERT_EQ(h.counts().size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(h.counts()[0], 2);
+  EXPECT_EQ(h.counts()[1], 1);
+  EXPECT_EQ(h.counts()[2], 0);
+  EXPECT_EQ(h.counts()[3], 1);
+  EXPECT_EQ(h.stats().count(), 4);
+  EXPECT_DOUBLE_EQ(h.stats().max(), 100.0);
+}
+
+TEST(Histogram, DefaultStepLatencyBucketsArePowersOfTwo) {
+  const std::vector<double> b = step_latency_buckets();
+  ASSERT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.front(), 1.0);
+  EXPECT_DOUBLE_EQ(b.back(), 16384.0);
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b[i], 2.0 * b[i - 1]);
+  }
+}
+
+TEST(MetricsRegistry, PointersAreStableAndShared) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("x");
+  a->inc(3);
+  Counter* b = reg.counter("x");
+  EXPECT_EQ(a, b);  // same name -> same counter
+  EXPECT_EQ(b->value(), 3);
+  Histogram* h1 = reg.histogram("lat", {1.0, 2.0});
+  Histogram* h2 = reg.histogram("lat", {8.0});  // bounds ignored on re-reg
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->upper_bounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotDecouplesFromRegistry) {
+  MetricsRegistry reg;
+  reg.counter("c")->inc(7);
+  reg.gauge("g")->set(2.5);
+  reg.histogram("h", {10.0})->observe(4.0);
+  const MetricsSnapshot s = reg.snapshot();
+  reg.counter("c")->inc(100);  // must not affect the snapshot
+  EXPECT_EQ(s.counters.at("c"), 7);
+  EXPECT_DOUBLE_EQ(s.gauges.at("g"), 2.5);
+  EXPECT_EQ(s.histograms.at("h").count, 1);
+  EXPECT_DOUBLE_EQ(s.histograms.at("h").mean, 4.0);
+  EXPECT_EQ(s.counter_or("c", -1), 7);
+  EXPECT_EQ(s.counter_or("missing", -1), -1);
+}
+
+TEST(BenchReport, ToJsonHasAllSectionsAndValidates) {
+  BenchReport r("unit_test");
+  r.set_metric("bad_probability", 0.625);
+  r.set_metric_int("trials", 100);
+  r.set_metric_string("note", "hello");
+  r.set_metric_bool("ok", true);
+  r.add_timing_ms("phase", 1.5);
+  r.add_timing_ms("total", 2.0);
+  r.set_environment("host", "test");
+  r.set_environment_int("seeds", 5);
+
+  MetricsRegistry reg;
+  reg.counter(kMessagesSent)->inc(10);
+  reg.histogram(kInvocationLatency)->observe(3.0);
+  r.merge_registry(reg.snapshot());
+
+  const Json j = r.to_json();
+  EXPECT_EQ(validate_report_json(j), "");
+  EXPECT_EQ(j.at("schema").as_string(), "blunt-bench-report");
+  EXPECT_EQ(j.at("bench").as_string(), "unit_test");
+  EXPECT_DOUBLE_EQ(j.at("metrics").at("bad_probability").as_double(), 0.625);
+  EXPECT_EQ(j.at("registry").at("counters").at(kMessagesSent).as_int(), 10);
+  EXPECT_EQ(j.at("environment").at("seeds").as_int(), 5);
+
+  // The serialized form must parse back to the same document.
+  const Json reparsed = Json::parse(j.dump(2));
+  EXPECT_EQ(reparsed.dump(), j.dump());
+  EXPECT_EQ(validate_report_json(reparsed), "");
+}
+
+TEST(BenchReport, MergeRegistryAddsCountersOverwritesGauges) {
+  BenchReport r("merge_test");
+  MetricsRegistry a;
+  a.counter("c")->inc(3);
+  a.gauge("g")->set(1.0);
+  MetricsRegistry b;
+  b.counter("c")->inc(4);
+  b.gauge("g")->set(9.0);
+  r.merge_registry(a.snapshot());
+  r.merge_registry(b.snapshot());
+  const Json j = r.to_json();
+  EXPECT_EQ(j.at("registry").at("counters").at("c").as_int(), 7);
+  EXPECT_DOUBLE_EQ(j.at("registry").at("gauges").at("g").as_double(), 9.0);
+}
+
+TEST(ValidateReport, RejectsMissingSections) {
+  JsonObject o;
+  o["schema"] = Json(std::string("blunt-bench-report"));
+  EXPECT_NE(validate_report_json(Json(o)), "");
+  EXPECT_NE(validate_report_json(Json(std::string("nope"))), "");
+}
+
+}  // namespace
+}  // namespace blunt::obs

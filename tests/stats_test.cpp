@@ -59,5 +59,68 @@ TEST(RunningStats, TracksMinMeanMax) {
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
 }
 
+TEST(RunningStats, VarianceAndStddev) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // single sample: no spread
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  // {2, 4, 4, 4, 5, 5, 7, 9}: classic example with population variance 4.
+  RunningStats t;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) t.add(x);
+  EXPECT_NEAR(t.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(t.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.mean(), 5.0);
+}
+
+TEST(RunningStats, WelfordMatchesDirectComputation) {
+  RunningStats s;
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    const double x = (i * 37 % 101) * 0.25;  // deterministic pseudo-data
+    s.add(x);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(PercentileFromBuckets, InterpolatesWithinBucket) {
+  // Bounds {10, 20, 30} + overflow; 10 observations uniformly in (0, 10].
+  const std::vector<double> bounds = {10.0, 20.0, 30.0};
+  const std::vector<std::int64_t> counts = {10, 0, 0, 0};
+  // rank = q * total falls inside the first bucket; linear interpolation
+  // from its lower edge (0) to its upper bound (10).
+  EXPECT_NEAR(percentile_from_buckets(bounds, counts, 0.5), 5.0, 1e-12);
+  EXPECT_NEAR(percentile_from_buckets(bounds, counts, 1.0), 10.0, 1e-12);
+}
+
+TEST(PercentileFromBuckets, SpansBuckets) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0, 8.0};
+  // 4 obs <= 1, 4 in (1,2], 2 in (2,4], 0 beyond.
+  const std::vector<std::int64_t> counts = {4, 4, 2, 0, 0};
+  const Percentiles p = percentiles_from_buckets(bounds, counts);
+  EXPECT_NEAR(p.p50, 1.25, 1e-12);   // rank 5 -> 1 into (1,2]
+  EXPECT_NEAR(p.p90, 3.0, 1e-12);    // rank 9 -> halfway into (2,4]
+  EXPECT_NEAR(p.p99, 3.9, 0.2);      // near the top of (2,4]
+}
+
+TEST(PercentileFromBuckets, OverflowClampsToLastBound) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  const std::vector<std::int64_t> counts = {0, 0, 5};  // all beyond 2
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(bounds, counts, 0.5), 2.0);
+}
+
+TEST(PercentileFromBuckets, EmptyIsZero) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  const std::vector<std::int64_t> counts = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(bounds, counts, 0.5), 0.0);
+}
+
 }  // namespace
 }  // namespace blunt
