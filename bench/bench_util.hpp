@@ -81,7 +81,10 @@ inline void ensure_canonical_counters(obs::MetricsSnapshot& s) {
   for (const char* name :
        {obs::kMessagesSent, obs::kMessagesDelivered, obs::kMessagesDropped,
         obs::kQuorumRoundTrips, obs::kPreambleExecuted, obs::kPreambleKept,
-        obs::kRandomDraws}) {
+        obs::kRandomDraws, obs::kFaultMessagesLost,
+        obs::kFaultMessagesDuplicated, obs::kFaultPartitionsOpened,
+        obs::kFaultPartitionsHealed, obs::kFaultRetransmissions,
+        obs::kFaultCrashesInjected}) {
     s.counters.emplace(name, 0);
   }
 }

@@ -30,6 +30,18 @@ Matcher deliver(Pid to, std::vector<std::string> parts) {
   };
 }
 
+Matcher crash(Pid pid) {
+  return [pid](const sim::World&, const sim::Event& e) {
+    return e.kind == sim::Event::Kind::kCrash && e.pid == pid;
+  };
+}
+
+Matcher tick() {
+  return [](const sim::World&, const sim::Event& e) {
+    return e.kind == sim::Event::Kind::kTick;
+  };
+}
+
 Matcher any_event(std::string what) {
   return [what = std::move(what)](const sim::World&, const sim::Event& e) {
     return e.what.find(what) != std::string::npos;

@@ -38,6 +38,13 @@ using Matcher = std::function<bool(const sim::World&, const sim::Event&)>;
 /// "R update sn=1 val=1 ts=(1,1) from p1").
 [[nodiscard]] Matcher deliver(Pid to, std::vector<std::string> parts);
 
+/// Matches the crash event of process `pid` (requires a crash budget).
+[[nodiscard]] Matcher crash(Pid pid);
+
+/// Matches the fault-layer tick event (enabled while a partition waits to
+/// heal).
+[[nodiscard]] Matcher tick();
+
 /// Matches any event whose description contains `what`.
 [[nodiscard]] Matcher any_event(std::string what);
 

@@ -1,0 +1,123 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace blunt::fault {
+
+std::uint64_t hash_name(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool FaultPlan::quorum_preserving() const {
+  if (static_cast<int>(crashes.size()) * 2 >= num_processes) return false;
+  for (const Partition& p : partitions) {
+    if (p.heal_step <= p.open_step) return false;
+  }
+  return true;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "FaultPlan{seed=" << seed << " n=" << num_processes
+     << " loss=" << loss_permille << "‰ (budget " << loss_budget_per_channel
+     << "/chan) dup=" << dup_permille << "‰ (budget "
+     << dup_budget_per_channel << "/chan)";
+  for (const Partition& p : partitions) {
+    os << " partition[mask=0x" << std::hex << p.side_mask << std::dec << " ["
+       << p.open_step << "," << p.heal_step << ")]";
+  }
+  for (const CrashAt& c : crashes) {
+    os << " crash[p" << c.pid << "@" << c.at_step << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+namespace {
+
+/// Tiny deterministic generator over the mix64 stream (not std::mt19937, so
+/// plans are identical across standard libraries).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(mix64(seed ^ 0xfa0175u)) {}
+
+  std::uint64_t next() { return state_ = mix64(state_); }
+
+  /// Uniform in [0, n).
+  int below(int n) {
+    BLUNT_ASSERT(n > 0, "Rng::below(0)");
+    return static_cast<int>(next() % static_cast<std::uint64_t>(n));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace
+
+FaultPlan random_plan(std::uint64_t seed, const PlanOptions& opts) {
+  BLUNT_ASSERT(opts.num_processes >= 1, "plan needs processes");
+  Rng rng(seed);
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.num_processes = opts.num_processes;
+
+  if (opts.max_loss_permille > 0) {
+    plan.loss_permille = static_cast<std::uint32_t>(
+        rng.below(static_cast<int>(opts.max_loss_permille) + 1));
+    plan.loss_budget_per_channel =
+        plan.loss_permille == 0 ? 0 : 1 + rng.below(opts.max_loss_budget);
+  }
+  if (opts.max_dup_permille > 0) {
+    plan.dup_permille = static_cast<std::uint32_t>(
+        rng.below(static_cast<int>(opts.max_dup_permille) + 1));
+    plan.dup_budget_per_channel =
+        plan.dup_permille == 0 ? 0 : 1 + rng.below(opts.max_dup_budget);
+  }
+
+  const int num_partitions =
+      opts.max_partitions > 0 ? rng.below(opts.max_partitions + 1) : 0;
+  for (int i = 0; i < num_partitions; ++i) {
+    Partition p;
+    // A non-trivial bipartition: at least one pid on each side.
+    do {
+      p.side_mask = static_cast<std::uint32_t>(
+          rng.below((1 << opts.num_processes) - 1));
+    } while (p.side_mask == 0);
+    const int len = opts.min_partition_len +
+                    rng.below(std::max(
+                        1, opts.max_partition_len - opts.min_partition_len));
+    p.open_step = rng.below(std::max(1, opts.horizon_steps - len));
+    p.heal_step = p.open_step + len;
+    plan.partitions.push_back(p);
+  }
+
+  const int crash_cap = opts.max_crashes >= 0
+                            ? opts.max_crashes
+                            : (opts.num_processes - 1) / 2;
+  const int num_crashes = crash_cap > 0 ? rng.below(crash_cap + 1) : 0;
+  std::vector<Pid> victims;
+  for (Pid p = 0; p < opts.num_processes; ++p) victims.push_back(p);
+  for (int i = 0; i < num_crashes; ++i) {
+    const int vi = rng.below(static_cast<int>(victims.size()));
+    const Pid victim = victims[static_cast<std::size_t>(vi)];
+    victims.erase(victims.begin() + vi);  // each process crashes at most once
+    plan.crashes.push_back({rng.below(opts.horizon_steps), victim});
+  }
+  std::sort(plan.crashes.begin(), plan.crashes.end(),
+            [](const CrashAt& a, const CrashAt& b) {
+              return a.at_step != b.at_step ? a.at_step < b.at_step
+                                            : a.pid < b.pid;
+            });
+  return plan;
+}
+
+}  // namespace blunt::fault

@@ -1,4 +1,5 @@
-// Asynchronous, unordered, reliable-until-crash message passing.
+// Asynchronous, unordered, reliable-until-crash message passing — with an
+// optional fault-injection interposition layer.
 //
 // One Network<M> instance models the channels of one protocol instance (e.g.
 // one ABD register). Messages go into an in-transit multiset; the World's
@@ -8,10 +9,18 @@
 // same scheduler step, matching Algorithm 3's atomic "when ... is received"
 // blocks; handlers may send further messages.
 //
-// Crash semantics: once a process crashes, messages addressed to it are
-// dropped (in transit and future), and its handler never runs again.
-// Messages it already sent remain in transit — a crashed sender's messages
-// may still be delivered, as in the standard crash-stop model.
+// Crash semantics (crash-stop): once a process crashes, messages addressed
+// to it are dropped (in transit and future), its handler never runs again,
+// and it can no longer inject messages — a send from a crashed pid (e.g. a
+// queued resend firing late) is silently discarded. Messages it already sent
+// remain in transit and may still be delivered, as in the standard model.
+//
+// Fault layer (src/fault): when set_fault_layer is called, every send
+// consults the layer (the message may be lost at the sender, or duplicated),
+// and enumerate() hides messages whose (from, to) channel is severed by an
+// active partition — they stay in transit and become deliverable when the
+// partition heals. Every fault decision is deterministic (see
+// sim/fault_hooks.hpp), so faulty executions replay exactly.
 #pragma once
 
 #include <concepts>
@@ -26,6 +35,7 @@
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
 #include "sim/delivery.hpp"
+#include "sim/fault_hooks.hpp"
 #include "sim/trace.hpp"
 
 namespace blunt::net {
@@ -47,13 +57,16 @@ class Network final : public sim::DeliverySource {
   /// net.* counters shared by every network on the registry.
   Network(std::string name, int num_processes, sim::Trace* trace,
           obs::MetricsRegistry* metrics = nullptr)
-      : name_(std::move(name)), num_processes_(num_processes), trace_(trace) {
+      : name_(std::move(name)),
+        num_processes_(num_processes),
+        trace_(trace),
+        metrics_(metrics) {
     BLUNT_ASSERT(num_processes_ > 0, "Network with no processes");
     handlers_.resize(static_cast<std::size_t>(num_processes_));
-    if (metrics != nullptr) {
-      sent_counter_ = metrics->counter(obs::kMessagesSent);
-      delivered_counter_ = metrics->counter(obs::kMessagesDelivered);
-      dropped_counter_ = metrics->counter(obs::kMessagesDropped);
+    if (metrics_ != nullptr) {
+      sent_counter_ = metrics_->counter(obs::kMessagesSent);
+      delivered_counter_ = metrics_->counter(obs::kMessagesDelivered);
+      dropped_counter_ = metrics_->counter(obs::kMessagesDropped);
     }
   }
 
@@ -62,26 +75,63 @@ class Network final : public sim::DeliverySource {
     handlers_[static_cast<std::size_t>(pid)] = std::move(h);
   }
 
+  /// Interposes `layer` on every subsequent send/enumerate (nullptr =
+  /// faithful channels, the default).
+  void set_fault_layer(sim::FaultLayer* layer) {
+    fault_layer_ = layer;
+    if (layer != nullptr && metrics_ != nullptr) {
+      lost_counter_ = metrics_->counter(obs::kFaultMessagesLost);
+      duplicated_counter_ = metrics_->counter(obs::kFaultMessagesDuplicated);
+    }
+  }
+
   /// Point-to-point send (self-sends allowed; ABD nodes message themselves).
   void send(Pid from, Pid to, M msg) {
     check_pid(from);
     check_pid(to);
     ++messages_sent_;
     if (sent_counter_ != nullptr) sent_counter_->inc();
+    if (crashed_.contains(from)) {  // crash-stop: a dead sender injects nothing
+      if (dropped_counter_ != nullptr) dropped_counter_->inc();
+      return;
+    }
     if (crashed_.contains(to)) {  // dropped
       if (dropped_counter_ != nullptr) dropped_counter_->inc();
       return;
     }
-    const int id = next_id_++;
-    if (trace_ != nullptr) {
-      trace_->append({.pid = from,
-                      .kind = sim::StepKind::kSend,
-                      .what = name_ + "→p" + std::to_string(to) + " " +
-                              msg.summary(),
-                      .inv = -1,
-                      .value = {}});
+    sim::SendFate fate;
+    if (fault_layer_ != nullptr) fate = fault_layer_->on_send(name_, from, to);
+    if (fate.lose) {
+      ++messages_lost_;
+      if (lost_counter_ != nullptr) lost_counter_->inc();
+      if (trace_ != nullptr) {
+        trace_->append({.pid = from,
+                        .kind = sim::StepKind::kFault,
+                        .what = name_ + "→p" + std::to_string(to) + " LOST " +
+                                msg.summary(),
+                        .inv = -1,
+                        .value = {}});
+      }
+      return;
     }
-    in_transit_.emplace(id, Envelope{id, from, to, std::move(msg)});
+    BLUNT_ASSERT(fate.copies >= 1, "send fate with no copies");
+    for (int copy = 0; copy < fate.copies; ++copy) {
+      const int id = next_id_++;
+      if (trace_ != nullptr) {
+        trace_->append({.pid = from,
+                        .kind = copy == 0 ? sim::StepKind::kSend
+                                          : sim::StepKind::kFault,
+                        .what = name_ + "→p" + std::to_string(to) +
+                                (copy == 0 ? " " : " DUP ") + msg.summary(),
+                        .inv = -1,
+                        .value = {}});
+      }
+      if (copy > 0) {
+        ++messages_duplicated_;
+        if (duplicated_counter_ != nullptr) duplicated_counter_->inc();
+      }
+      in_transit_.emplace(id, Envelope{id, from, to, msg});
+    }
   }
 
   /// Send to every process, including the sender (Algorithm 3's broadcast).
@@ -93,6 +143,10 @@ class Network final : public sim::DeliverySource {
 
   void enumerate(std::vector<sim::PendingDelivery>& out) const override {
     for (const auto& [id, env] : in_transit_) {
+      if (fault_layer_ != nullptr &&
+          fault_layer_->channel_blocked(env.from, env.to)) {
+        continue;  // severed by a partition; held until it heals
+      }
       out.push_back({id, env.to, name_ + " " + env.payload.summary() +
                                   " from p" + std::to_string(env.from)});
     }
@@ -125,6 +179,18 @@ class Network final : public sim::DeliverySource {
     }
   }
 
+  void describe_pending(std::vector<std::string>& out) const override {
+    for (const auto& [id, env] : in_transit_) {
+      const bool blocked =
+          fault_layer_ != nullptr &&
+          fault_layer_->channel_blocked(env.from, env.to);
+      out.push_back(name_ + " msg" + std::to_string(id) + " p" +
+                    std::to_string(env.from) + "→p" + std::to_string(env.to) +
+                    " " + env.payload.summary() +
+                    (blocked ? " [held by partition]" : " [deliverable]"));
+    }
+  }
+
   // -- Introspection --
 
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -133,6 +199,10 @@ class Network final : public sim::DeliverySource {
   }
   [[nodiscard]] int messages_sent() const { return messages_sent_; }
   [[nodiscard]] int messages_delivered() const { return messages_delivered_; }
+  [[nodiscard]] int messages_lost() const { return messages_lost_; }
+  [[nodiscard]] int messages_duplicated() const {
+    return messages_duplicated_;
+  }
 
  private:
   struct Envelope {
@@ -150,15 +220,21 @@ class Network final : public sim::DeliverySource {
   std::string name_;
   int num_processes_;
   sim::Trace* trace_;
+  obs::MetricsRegistry* metrics_;
+  sim::FaultLayer* fault_layer_ = nullptr;
   obs::Counter* sent_counter_ = nullptr;
   obs::Counter* delivered_counter_ = nullptr;
   obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* lost_counter_ = nullptr;
+  obs::Counter* duplicated_counter_ = nullptr;
   std::vector<Handler> handlers_;
   std::map<int, Envelope> in_transit_;  // keyed by id => canonical order
   std::set<Pid> crashed_;
   int next_id_ = 0;
   int messages_sent_ = 0;
   int messages_delivered_ = 0;
+  int messages_lost_ = 0;
+  int messages_duplicated_ = 0;
 };
 
 }  // namespace blunt::net

@@ -1,5 +1,6 @@
 #include "objects/abd.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -32,16 +33,23 @@ AbdRegister::AbdRegister(std::string name, sim::World& w, Options opts)
       world_(w),
       opts_(opts),
       object_id_(w.register_object(name_)),
-      quorum_(opts.num_processes / 2 + 1),
+      quorum_(opts.bug == AbdBug::kSubMajorityQuorum
+                  ? std::max(opts.num_processes / 2, 1)
+                  : opts.num_processes / 2 + 1),
       net_(name_, opts.num_processes, &w.trace_mutable(), w.metrics()),
+      resend_src_(this),
       servers_(static_cast<std::size_t>(opts.num_processes)),
       clients_(static_cast<std::size_t>(opts.num_processes)) {
   BLUNT_ASSERT(opts_.num_processes >= 1, "ABD needs processes");
   BLUNT_ASSERT(opts_.preamble_iterations >= 1, "k must be >= 1");
+  BLUNT_ASSERT(opts_.max_retransmits >= 0, "negative retransmit bound");
   if (obs::MetricsRegistry* m = w.metrics()) {
     quorum_round_trips_ = m->counter(obs::kQuorumRoundTrips);
     preamble_executed_ = m->counter(obs::kPreambleExecuted);
     preamble_kept_ = m->counter(obs::kPreambleKept);
+    if (opts_.max_retransmits > 0) {
+      retransmission_counter_ = m->counter(obs::kFaultRetransmissions);
+    }
   }
   for (auto& s : servers_) s.val = opts_.initial;
   for (Pid pid = 0; pid < opts_.num_processes; ++pid) {
@@ -50,6 +58,9 @@ AbdRegister::AbdRegister(std::string name, sim::World& w, Options opts)
     });
   }
   w.attach(net_);
+  // Attached only when enabled so the source ids (and hence the canonical
+  // event order) of retransmission-free configurations are unchanged.
+  if (opts_.max_retransmits > 0) w.attach(resend_src_);
 }
 
 lin::PreambleMapping AbdRegister::preamble_mapping() const {
@@ -73,14 +84,18 @@ void AbdRegister::handle(Pid to, Pid from, const AbdMessage& m) {
   switch (m.type) {
     case AbdMessage::Type::kQuery:
       // Lines 11–12: answer with the replica's current value and timestamp.
+      // Re-answering a retransmitted query is harmless: the reply is keyed
+      // by (sn, responder) on the client, so it cannot double-count.
       net_.send(to, from,
                 {AbdMessage::Type::kReply, m.sn, srv.val, srv.ts});
       break;
     case AbdMessage::Type::kReply:
-      cli.replies[m.sn].emplace_back(m.val, m.ts);
+      // Keyed by responder: a duplicated or re-elicited reply is idempotent.
+      cli.replies[m.sn].emplace(from, std::make_pair(m.val, m.ts));
       break;
     case AbdMessage::Type::kUpdate:
-      // Lines 18–20: adopt if newer, always ack.
+      // Lines 18–20: adopt if newer, always ack. Timestamps are monotone, so
+      // re-applying a retransmitted update is a no-op.
       if (m.ts > srv.ts) {
         srv.val = m.val;
         srv.ts = m.ts;
@@ -88,10 +103,98 @@ void AbdRegister::handle(Pid to, Pid from, const AbdMessage& m) {
       net_.send(to, from, {AbdMessage::Type::kAck, m.sn});
       break;
     case AbdMessage::Type::kAck:
-      ++cli.acks[m.sn];
+      // A set, not a count: duplicated acks cannot fake a quorum.
+      cli.acks[m.sn].insert(from);
       break;
   }
 }
+
+bool AbdRegister::phase_satisfied(Pid client, int sn,
+                                  AbdMessage::Type type) const {
+  const Client& c = clients_[static_cast<std::size_t>(client)];
+  if (type == AbdMessage::Type::kQuery) {
+    const auto it = c.replies.find(sn);
+    return it != c.replies.end() &&
+           static_cast<int>(it->second.size()) >= quorum_;
+  }
+  const auto it = c.acks.find(sn);
+  return it != c.acks.end() && static_cast<int>(it->second.size()) >= quorum_;
+}
+
+// -- ResendSource ------------------------------------------------------------
+
+void AbdRegister::ResendSource::arm(Pid client, int sn, AbdMessage msg,
+                                    int retries) {
+  if (retries <= 0) return;
+  tokens_.emplace(next_token_++, Token{client, sn, std::move(msg), retries});
+}
+
+void AbdRegister::ResendSource::disarm(Pid client, int sn) {
+  for (auto it = tokens_.begin(); it != tokens_.end();) {
+    if (it->second.client == client && it->second.sn == sn) {
+      it = tokens_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AbdRegister::ResendSource::enumerate(
+    std::vector<sim::PendingDelivery>& out) const {
+  for (const auto& [id, t] : tokens_) {
+    // A satisfied phase no longer offers its resend — the rebroadcast would
+    // be pure noise, and hiding it keeps fault-free schedules identical.
+    if (reg_->phase_satisfied(t.client, t.sn, t.msg.type)) continue;
+    out.push_back({id, t.client,
+                   reg_->name_ + " resend " + t.msg.summary() + " by p" +
+                       std::to_string(t.client) + " (" +
+                       std::to_string(t.retries_left) + " left)"});
+  }
+}
+
+void AbdRegister::ResendSource::deliver(int msg_id) {
+  auto it = tokens_.find(msg_id);
+  BLUNT_ASSERT(it != tokens_.end(), "resend of unknown token " << msg_id);
+  Token& t = it->second;
+  --t.retries_left;
+  ++reg_->retransmissions_;
+  if (reg_->retransmission_counter_ != nullptr) {
+    reg_->retransmission_counter_->inc();
+  }
+  reg_->world_.trace_mutable().append(
+      {.pid = t.client,
+       .kind = sim::StepKind::kFault,
+       .what = reg_->name_ + " resend " + t.msg.summary(),
+       .inv = -1,
+       .value = {}});
+  const Pid client = t.client;
+  const AbdMessage msg = t.msg;
+  if (t.retries_left <= 0) tokens_.erase(it);
+  reg_->net_.broadcast(client, msg);
+}
+
+void AbdRegister::ResendSource::on_crash(Pid pid) {
+  for (auto it = tokens_.begin(); it != tokens_.end();) {
+    if (it->second.client == pid) {
+      it = tokens_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AbdRegister::ResendSource::describe_pending(
+    std::vector<std::string>& out) const {
+  for (const auto& [id, t] : tokens_) {
+    const bool satisfied = reg_->phase_satisfied(t.client, t.sn, t.msg.type);
+    out.push_back(reg_->name_ + " resend-token" + std::to_string(id) + " p" +
+                  std::to_string(t.client) + " " + t.msg.summary() + " (" +
+                  std::to_string(t.retries_left) + " left)" +
+                  (satisfied ? " [phase satisfied]" : " [armed]"));
+  }
+}
+
+// -- Phases ------------------------------------------------------------------
 
 sim::Task<std::pair<sim::Value, Timestamp>> AbdRegister::query_phase(
     sim::Proc p, InvocationId inv) {
@@ -99,22 +202,24 @@ sim::Task<std::pair<sim::Value, Timestamp>> AbdRegister::query_phase(
   const int sn = cli.next_sn++;
   ++query_phases_run_;
   co_await p.yield(sim::StepKind::kSend, name_ + ".query-bcast", inv);
-  net_.broadcast(p.pid(), {AbdMessage::Type::kQuery, sn});
+  const AbdMessage msg{AbdMessage::Type::kQuery, sn};
+  net_.broadcast(p.pid(), msg);
+  if (opts_.max_retransmits > 0) {
+    resend_src_.arm(p.pid(), sn, msg, opts_.max_retransmits);
+  }
   const Pid pid = p.pid();
   co_await p.wait_until(
       [this, pid, sn] {
-        const Client& c = clients_[static_cast<std::size_t>(pid)];
-        const auto it = c.replies.find(sn);
-        return it != c.replies.end() &&
-               static_cast<int>(it->second.size()) >= quorum_;
+        return phase_satisfied(pid, sn, AbdMessage::Type::kQuery);
       },
       name_ + ".query-quorum", inv);
+  resend_src_.disarm(pid, sn);
   if (quorum_round_trips_ != nullptr) quorum_round_trips_->inc();
   // Line 9: pair in reply with the largest timestamp, over the replies
   // received by the time this step is scheduled.
   const auto& replies = cli.replies[sn];
-  std::pair<sim::Value, Timestamp> best = replies.front();
-  for (const auto& r : replies) {
+  std::pair<sim::Value, Timestamp> best = replies.begin()->second;
+  for (const auto& [from, r] : replies) {
     if (r.second > best.second) best = r;
   }
   co_return best;
@@ -125,15 +230,18 @@ sim::Task<void> AbdRegister::update_phase(sim::Proc p, InvocationId inv,
   Client& cli = clients_[static_cast<std::size_t>(p.pid())];
   const int sn = cli.next_sn++;
   co_await p.yield(sim::StepKind::kSend, name_ + ".update-bcast", inv);
-  net_.broadcast(p.pid(), {AbdMessage::Type::kUpdate, sn, std::move(v), u});
+  const AbdMessage msg{AbdMessage::Type::kUpdate, sn, std::move(v), u};
+  net_.broadcast(p.pid(), msg);
+  if (opts_.max_retransmits > 0) {
+    resend_src_.arm(p.pid(), sn, msg, opts_.max_retransmits);
+  }
   const Pid pid = p.pid();
   co_await p.wait_until(
       [this, pid, sn] {
-        const Client& c = clients_[static_cast<std::size_t>(pid)];
-        const auto it = c.acks.find(sn);
-        return it != c.acks.end() && it->second >= quorum_;
+        return phase_satisfied(pid, sn, AbdMessage::Type::kUpdate);
       },
       name_ + ".update-quorum", inv);
+  resend_src_.disarm(pid, sn);
   if (quorum_round_trips_ != nullptr) quorum_round_trips_->inc();
 }
 

@@ -25,9 +25,22 @@
 // the original single-writer ABD [3] in which the unique writer skips the
 // query phase and stamps writes from a local counter (its Write preamble is
 // empty, so only Read is iterated).
+//
+// Fault tolerance beyond crashes: quorum counting is idempotent — replies
+// and acks are keyed by (phase sequence number, responder pid), so a
+// duplicated kReply/kAck never double-counts toward a quorum, and a
+// retransmitted query/update elicits at most one counted response per
+// server. With Options::max_retransmits > 0, each phase arms a bounded
+// resend token exposed to the scheduler as an ordinary delivery event
+// ("modeled as a schedulable resend event"): the adversary decides when —
+// and whether — a phase rebroadcasts, so retransmission is replayable and
+// costs nothing when no messages were lost. Re-applying an update is
+// idempotent (timestamps are monotone), so retransmission preserves
+// linearizability.
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -56,6 +69,16 @@ enum class AbdVariant {
   kSingleWriter,  // original ABD [3]: the sole writer stamps locally
 };
 
+/// Deliberately plantable protocol bugs — validation targets for the chaos
+/// harness and the schedule shrinker (a correct implementation never
+/// produces a counterexample; a planted bug must).
+enum class AbdBug {
+  kNone,
+  /// Quorum of floor(n/2) instead of the majority floor(n/2)+1: two phases
+  /// may touch disjoint replica sets, so a read can miss a completed write.
+  kSubMajorityQuorum,
+};
+
 class AbdRegister final : public RegisterObject {
  public:
   struct Options {
@@ -64,6 +87,11 @@ class AbdRegister final : public RegisterObject {
     int preamble_iterations = 1;   // k; >= 2 gives ABD^k
     AbdVariant variant = AbdVariant::kMultiWriter;
     Pid single_writer = 0;         // only for kSingleWriter
+    /// > 0: every query/update phase may rebroadcast up to this many times,
+    /// as adversary-schedulable resend events. 0 (default) disables
+    /// retransmission — the original single-broadcast Algorithm 3.
+    int max_retransmits = 0;
+    AbdBug bug = AbdBug::kNone;
   };
 
   // Control points of Algorithm 3 used as preamble ends (Section 5.1).
@@ -78,6 +106,12 @@ class AbdRegister final : public RegisterObject {
   [[nodiscard]] int object_id() const override { return object_id_; }
   [[nodiscard]] const std::string& name() const override { return name_; }
 
+  /// Routes this register's messages through the fault layer (loss,
+  /// duplication, partitions). nullptr restores faithful channels.
+  void set_fault_layer(sim::FaultLayer* layer) {
+    net_.set_fault_layer(layer);
+  }
+
   /// Π_ABD: Read -> line 22, Write -> line 26 (trivial Write preamble for the
   /// single-writer variant).
   [[nodiscard]] lin::PreambleMapping preamble_mapping() const;
@@ -85,6 +119,7 @@ class AbdRegister final : public RegisterObject {
   [[nodiscard]] int quorum() const { return quorum_; }
   [[nodiscard]] int messages_sent() const { return net_.messages_sent(); }
   [[nodiscard]] int query_phases_run() const { return query_phases_run_; }
+  [[nodiscard]] int retransmissions() const { return retransmissions_; }
 
   /// The replica state of process `pid` (tests/debug only).
   [[nodiscard]] std::pair<sim::Value, Timestamp> replica(Pid pid) const;
@@ -96,8 +131,37 @@ class AbdRegister final : public RegisterObject {
   };
   struct Client {
     int next_sn = 0;
-    std::map<int, std::vector<std::pair<sim::Value, Timestamp>>> replies;
-    std::map<int, int> acks;
+    // Quorum bookkeeping keyed by responder pid: duplicates are idempotent.
+    std::map<int, std::map<Pid, std::pair<sim::Value, Timestamp>>> replies;
+    std::map<int, std::set<Pid>> acks;
+  };
+
+  /// Bounded per-phase resend tokens, exposed to the World as schedulable
+  /// delivery events: "delivering" a token rebroadcasts its phase message.
+  /// Tokens of satisfied phases (and of crashed clients) are not offered.
+  class ResendSource final : public sim::DeliverySource {
+   public:
+    explicit ResendSource(AbdRegister* reg) : reg_(reg) {}
+
+    void arm(Pid client, int sn, AbdMessage msg, int retries);
+    void disarm(Pid client, int sn);
+
+    void enumerate(std::vector<sim::PendingDelivery>& out) const override;
+    void deliver(int msg_id) override;
+    void on_crash(Pid pid) override;
+    void describe_pending(std::vector<std::string>& out) const override;
+
+   private:
+    struct Token {
+      Pid client = -1;
+      int sn = 0;
+      AbdMessage msg;
+      int retries_left = 0;
+    };
+
+    AbdRegister* reg_;
+    std::map<int, Token> tokens_;  // keyed by token id => canonical order
+    int next_token_ = 0;
   };
 
   /// Lines 5–10: broadcast query, await a quorum of replies, return the
@@ -110,6 +174,11 @@ class AbdRegister final : public RegisterObject {
   /// The "when received" handlers (lines 11–12 and 18–20).
   void handle(Pid to, Pid from, const AbdMessage& m);
 
+  /// True once the phase `sn` of `client` has its quorum (distinct
+  /// responders only).
+  [[nodiscard]] bool phase_satisfied(Pid client, int sn,
+                                     AbdMessage::Type type) const;
+
   std::string name_;
   sim::World& world_;
   Options opts_;
@@ -119,11 +188,14 @@ class AbdRegister final : public RegisterObject {
   obs::Counter* quorum_round_trips_ = nullptr;
   obs::Counter* preamble_executed_ = nullptr;
   obs::Counter* preamble_kept_ = nullptr;
+  obs::Counter* retransmission_counter_ = nullptr;
   net::Network<AbdMessage> net_;
+  ResendSource resend_src_;
   std::vector<Server> servers_;
   std::vector<Client> clients_;
   std::int64_t writer_seq_ = 0;  // single-writer variant's local stamp
   int query_phases_run_ = 0;
+  int retransmissions_ = 0;
 };
 
 }  // namespace blunt::objects

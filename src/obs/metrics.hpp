@@ -191,6 +191,12 @@ inline constexpr const char* kMessagesDropped = "net.messages_dropped";
 inline constexpr const char* kQuorumRoundTrips = "net.quorum_round_trips";
 inline constexpr const char* kPreambleExecuted = "obj.preamble_iterations_executed";
 inline constexpr const char* kPreambleKept = "obj.preamble_iterations_kept";
+inline constexpr const char* kFaultMessagesLost = "fault.messages_lost";
+inline constexpr const char* kFaultMessagesDuplicated = "fault.messages_duplicated";
+inline constexpr const char* kFaultPartitionsOpened = "fault.partitions_opened";
+inline constexpr const char* kFaultPartitionsHealed = "fault.partitions_healed";
+inline constexpr const char* kFaultRetransmissions = "fault.retransmissions";
+inline constexpr const char* kFaultCrashesInjected = "fault.crashes_injected";
 inline constexpr const char* kMcTrials = "mc.trials";
 inline constexpr const char* kMcSchedulesExplored = "mc.schedules_explored";
 inline constexpr const char* kMcBadOutcomes = "mc.bad_outcomes";

@@ -9,13 +9,14 @@ namespace blunt::obs {
 
 namespace {
 
-constexpr std::array<sim::StepKind, 11> kAllStepKinds = {
+constexpr std::array<sim::StepKind, 13> kAllStepKinds = {
     sim::StepKind::kSpawn,      sim::StepKind::kLocal,
     sim::StepKind::kRegisterRead, sim::StepKind::kRegisterWrite,
     sim::StepKind::kSend,       sim::StepKind::kDeliver,
     sim::StepKind::kRandom,     sim::StepKind::kWaitResume,
     sim::StepKind::kCall,       sim::StepKind::kReturn,
-    sim::StepKind::kCrash,
+    sim::StepKind::kCrash,      sim::StepKind::kFault,
+    sim::StepKind::kTick,
 };
 
 }  // namespace

@@ -33,6 +33,13 @@ class DeliverySource {
   /// Drop all in-transit messages addressed to a crashed process and stop
   /// accepting new ones for it.
   virtual void on_crash(Pid pid) = 0;
+
+  /// Append one human-readable line per held or pending item, including
+  /// messages currently severed by a partition (which enumerate() hides).
+  /// Feeds the World's deadlock diagnostics; default: nothing to report.
+  virtual void describe_pending(std::vector<std::string>& out) const {
+    (void)out;
+  }
 };
 
 }  // namespace blunt::sim

@@ -17,6 +17,9 @@ std::ostream& operator<<(std::ostream& os, const Event& e) {
     case Event::Kind::kCrash:
       os << "crash(p" << e.pid << ')';
       break;
+    case Event::Kind::kTick:
+      os << "tick(" << e.what << ')';
+      break;
   }
   return os;
 }

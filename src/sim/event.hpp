@@ -21,6 +21,9 @@ struct Event {
     kResume,   // resume process `pid` (runs its next step)
     kDeliver,  // deliver message `msg_id` from delivery source `source_id`
     kCrash,    // crash process `pid` (only if crashes are enabled)
+    kTick,     // advance scheduler time one step with no other effect (only
+               // offered while the fault layer has step-indexed transitions
+               // pending, e.g. a partition waiting to heal)
   };
 
   Kind kind = Kind::kResume;

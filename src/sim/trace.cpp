@@ -18,6 +18,8 @@ const char* to_string(StepKind k) {
     case StepKind::kCall: return "call";
     case StepKind::kReturn: return "return";
     case StepKind::kCrash: return "crash";
+    case StepKind::kFault: return "fault";
+    case StepKind::kTick: return "tick";
   }
   return "?";
 }

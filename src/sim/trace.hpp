@@ -32,10 +32,14 @@ enum class StepKind {
   kCall,           // method invocation call action
   kReturn,         // method invocation return action
   kCrash,          // process crashed
+  kFault,          // injected fault (message lost/duplicated, partition
+                   // opened/healed) — appended by the fault layer
+  kTick,           // scheduler time advanced with no other effect (offered
+                   // while step-indexed faults are pending)
 };
 
 /// Number of StepKind alternatives (metrics arrays index by kind).
-inline constexpr int kNumStepKinds = static_cast<int>(StepKind::kCrash) + 1;
+inline constexpr int kNumStepKinds = static_cast<int>(StepKind::kTick) + 1;
 
 [[nodiscard]] const char* to_string(StepKind k);
 

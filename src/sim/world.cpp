@@ -120,12 +120,18 @@ std::vector<Event> World::enabled_events() const {
       }
     }
   }
+  if (fault_layer_ != nullptr && fault_layer_->tick_pending(*this)) {
+    events.push_back({Event::Kind::kTick, -1, -1, -1, "fault-tick"});
+  }
   return events;
 }
 
 void World::execute(const Event& e) {
   ++sched_steps_;
   trace_.set_sched_step(sched_steps_);
+  // Step-indexed fault transitions (partition opens/heals) fire first, so a
+  // delivery executed at step s sees the channel state of step s.
+  if (fault_layer_ != nullptr) fault_layer_->on_step(*this);
   switch (e.kind) {
     case Event::Kind::kResume:
       resume_slot(e.pid);
@@ -161,6 +167,16 @@ void World::execute(const Event& e) {
                      .value = {}});
       count_step(StepKind::kCrash);
       for (DeliverySource* src : sources_) src->on_crash(e.pid);
+      break;
+    }
+    case Event::Kind::kTick: {
+      BLUNT_ASSERT(fault_layer_ != nullptr, "tick without a fault layer");
+      trace_.append({.pid = -1,
+                     .kind = StepKind::kTick,
+                     .what = e.what,
+                     .inv = -1,
+                     .value = {}});
+      count_step(StepKind::kTick);
       break;
     }
   }
@@ -232,17 +248,68 @@ void World::resume_slot(Pid pid) {
   }
 }
 
+std::string World::describe_stuck() const {
+  std::string out;
+  for (Pid pid = 0; pid < process_count(); ++pid) {
+    const Slot& s = slots_[pid];
+    switch (s.state) {
+      case ProcState::kNotStarted:
+        out += "p" + std::to_string(pid) + " (" + s.name + "): not started\n";
+        break;
+      case ProcState::kReady:
+        out += "p" + std::to_string(pid) + " (" + s.name +
+               "): ready, next step '" + s.pending_what + "'\n";
+        break;
+      case ProcState::kBlocked:
+        out += "p" + std::to_string(pid) + " (" + s.name + "): blocked on '" +
+               s.pending_what + "' (predicate " +
+               (s.wait_pred && s.wait_pred() ? "holds" : "does not hold") +
+               ")\n";
+        break;
+      case ProcState::kRunning:
+      case ProcState::kDone:
+      case ProcState::kCrashed:
+        break;
+    }
+  }
+  std::vector<std::string> lines;
+  for (int sid = 0; sid < static_cast<int>(sources_.size()); ++sid) {
+    lines.clear();
+    sources_[sid]->describe_pending(lines);
+    for (const std::string& l : lines) {
+      out += "source " + std::to_string(sid) + ": " + l + "\n";
+    }
+  }
+  if (fault_layer_ != nullptr) {
+    out += fault_layer_->tick_pending(*this)
+               ? "fault layer: step-indexed transitions pending\n"
+               : "fault layer: no pending transitions\n";
+  }
+  return out;
+}
+
 RunResult World::run(Adversary& adv) {
   while (sched_steps_ < cfg_.max_steps) {
-    if (finished()) return {RunStatus::kCompleted, sched_steps_};
+    if (finished()) return {RunStatus::kCompleted, sched_steps_, {}};
     const std::vector<Event> events = enabled_events();
-    if (events.empty()) return {RunStatus::kDeadlock, sched_steps_};
+    if (events.empty()) {
+      RunResult r{RunStatus::kDeadlock, sched_steps_, {}};
+      if (cfg_.deadlock_diagnostics) {
+        r.deadlock_detail = describe_stuck();
+        trace_.append({.pid = -1,
+                       .kind = StepKind::kLocal,
+                       .what = "deadlock:\n" + r.deadlock_detail,
+                       .inv = -1,
+                       .value = {}});
+      }
+      return r;
+    }
     const std::size_t idx = adv.choose(*this, events);
     BLUNT_ASSERT(idx < events.size(),
                  "adversary chose " << idx << " of " << events.size());
     execute(events[idx]);
   }
-  return {RunStatus::kStepBudgetExhausted, sched_steps_};
+  return {RunStatus::kStepBudgetExhausted, sched_steps_, {}};
 }
 
 InvocationId World::begin_invocation(Pid pid, int object_id,

@@ -36,6 +36,7 @@
 #include "sim/coin.hpp"
 #include "sim/delivery.hpp"
 #include "sim/event.hpp"
+#include "sim/fault_hooks.hpp"
 #include "sim/task.hpp"
 #include "sim/trace.hpp"
 #include "sim/value.hpp"
@@ -55,6 +56,11 @@ struct Config {
   /// draws (objects and networks hook in through World::metrics()). Off by
   /// default — the disabled cost on the step path is one null check.
   bool metrics = false;
+  /// When a run ends in kDeadlock, describe the stuck state (which processes
+  /// are blocked and on what; held vs. partitioned messages per source) in
+  /// RunResult::deadlock_detail and append it to the trace. On by default;
+  /// the cost is paid only on the deadlock path.
+  bool deadlock_diagnostics = true;
 };
 
 enum class RunStatus {
@@ -68,6 +74,9 @@ enum class RunStatus {
 struct RunResult {
   RunStatus status = RunStatus::kCompleted;
   int steps = 0;
+  /// Human-readable stuck-state report, filled on kDeadlock when
+  /// Config::deadlock_diagnostics is on (see World::describe_stuck).
+  std::string deadlock_detail;
 };
 
 /// Lightweight handle a process coroutine uses to interact with its World.
@@ -131,6 +140,14 @@ class World {
   /// Registers a shared object for history bookkeeping; returns object id.
   int register_object(std::string name);
 
+  /// Installs the fault-injection interposition layer (nullptr = none, the
+  /// default). While installed, the World calls layer->on_step() on every
+  /// executed step and offers a kTick event whenever layer->tick_pending().
+  /// Networks consult the same layer separately (net::Network::
+  /// set_fault_layer); installing one here does not rewire networks.
+  void set_fault_layer(FaultLayer* layer) { fault_layer_ = layer; }
+  [[nodiscard]] FaultLayer* fault_layer() const { return fault_layer_; }
+
   /// Runs to completion / deadlock / budget under the given adversary.
   RunResult run(Adversary& adv);
 
@@ -166,6 +183,12 @@ class World {
   [[nodiscard]] const std::string& process_name(Pid pid) const;
   [[nodiscard]] bool crashed(Pid pid) const;
   [[nodiscard]] bool process_done(Pid pid) const;
+
+  /// Multi-line report of why no event is enabled: per live process, what it
+  /// is blocked on (wait predicate label / ready-but-unscheduled); per
+  /// delivery source, its held and partitioned messages. Used by run() on
+  /// deadlock; callable any time for debugging.
+  [[nodiscard]] std::string describe_stuck() const;
 
   // -- Invocation bookkeeping (called by object implementations) --
 
@@ -228,6 +251,7 @@ class World {
 
   Config cfg_;
   std::unique_ptr<CoinSource> coins_;
+  FaultLayer* fault_layer_ = nullptr;
   // Observability (null / unset unless cfg_.metrics): counter per StepKind
   // cached at construction so the hot path is one branch + one increment.
   std::unique_ptr<obs::MetricsRegistry> metrics_;

@@ -4,6 +4,8 @@
 // distinction at the lin level.
 #include <gtest/gtest.h>
 
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "lin/strong.hpp"
 #include "objects/abd.hpp"
 #include "programs/weakener.hpp"
@@ -33,6 +35,40 @@ TEST(Determinism, IdenticalSeedsIdenticalTraces) {
   // Full ABD² weakener runs: byte-identical traces across replays.
   EXPECT_EQ(run_weakener_trace(3, 7), run_weakener_trace(3, 7));
   EXPECT_EQ(run_weakener_trace(11, 23), run_weakener_trace(11, 23));
+}
+
+std::string run_chaos_trace(bool metrics) {
+  const fault::FaultPlan plan = fault::random_plan(99);
+  auto w = std::make_unique<sim::World>(
+      sim::Config{.max_crashes = static_cast<int>(plan.crashes.size()),
+                  .metrics = metrics},
+      std::make_unique<sim::SeededCoin>(5));
+  objects::AbdRegister reg(
+      "R", *w, {.num_processes = 3, .max_retransmits = 12});
+  fault::FaultInjector inj(plan, *w);
+  reg.set_fault_layer(&inj);
+  for (Pid pid = 0; pid < 3; ++pid) {
+    w->add_process("p" + std::to_string(pid),
+                   [&reg, pid](sim::Proc p) -> sim::Task<void> {
+                     co_await reg.write(p, sim::Value(std::int64_t{pid}));
+                     (void)co_await reg.read(p);
+                   });
+  }
+  sim::UniformAdversary uniform(7);
+  fault::ChaosAdversary adv(uniform, plan, &inj);
+  EXPECT_EQ(w->run(adv).status, sim::RunStatus::kCompleted);
+  return w->trace().to_string();
+}
+
+TEST(Determinism, FaultMetricsDoNotPerturbTheSchedule) {
+  // The fault.* counters are observational only: a faulty run must take the
+  // byte-identical schedule (and inject the byte-identical faults) whether
+  // or not the metrics registry is recording it.
+  EXPECT_EQ(run_chaos_trace(false), run_chaos_trace(true));
+}
+
+TEST(Determinism, ChaosRunsReplayByteIdentically) {
+  EXPECT_EQ(run_chaos_trace(true), run_chaos_trace(true));
 }
 
 TEST(Determinism, DifferentSchedulerSeedsDiverge) {

@@ -110,6 +110,21 @@ TEST(Network, CrashedSendersMessagesSurvive) {
   EXPECT_EQ(got, 9);
 }
 
+TEST(Network, CrashedSenderInjectsNothing) {
+  // Crash-stop: messages already in flight survive (above), but a crashed
+  // process must not put NEW messages on the wire — e.g. a handler or resend
+  // firing after the crash.
+  Network<Msg> net("n", 2, nullptr);
+  net.set_handler(1, [](Pid, Pid, const Msg&) {});
+  net.on_crash(0);
+  net.send(0, 1, {9});
+  EXPECT_EQ(net.in_transit_count(), 0);
+  EXPECT_EQ(net.messages_sent(), 1);  // counted as attempted, then dropped
+  std::vector<sim::PendingDelivery> pending;
+  net.enumerate(pending);
+  EXPECT_TRUE(pending.empty());
+}
+
 TEST(Network, CountersTrackTraffic) {
   Network<Msg> net("n", 3, nullptr);
   for (Pid p = 0; p < 3; ++p) net.set_handler(p, [](Pid, Pid, const Msg&) {});

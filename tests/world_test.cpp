@@ -120,6 +120,36 @@ TEST(World, DeadlockDetected) {
   EXPECT_EQ(w->run(adv).status, RunStatus::kDeadlock);
 }
 
+TEST(World, DeadlockDiagnosticsNameTheBlockedWait) {
+  auto w = make_world();
+  w->add_process("stuck", [](Proc p) -> Task<void> {
+    co_await p.wait_until([] { return false; }, "never-satisfied");
+  });
+  w->add_process("fine", [](Proc) -> Task<void> { co_return; });
+  FirstEnabledAdversary adv;
+  const RunResult res = w->run(adv);
+  ASSERT_EQ(res.status, RunStatus::kDeadlock);
+  // The detail names the blocked process, its wait label, and the predicate
+  // state; it also lands in the trace for exported artifacts.
+  EXPECT_NE(res.deadlock_detail.find("stuck"), std::string::npos);
+  EXPECT_NE(res.deadlock_detail.find("never-satisfied"), std::string::npos);
+  EXPECT_NE(res.deadlock_detail.find("blocked"), std::string::npos);
+  EXPECT_NE(w->trace().to_string().find("deadlock"), std::string::npos);
+}
+
+TEST(World, DeadlockDiagnosticsCanBeDisabled) {
+  auto w = std::make_unique<World>(
+      Config{.deadlock_diagnostics = false},
+      std::make_unique<SeededCoin>(1));
+  w->add_process("stuck", [](Proc p) -> Task<void> {
+    co_await p.wait_until([] { return false; }, "never");
+  });
+  FirstEnabledAdversary adv;
+  const RunResult res = w->run(adv);
+  ASSERT_EQ(res.status, RunStatus::kDeadlock);
+  EXPECT_TRUE(res.deadlock_detail.empty());
+}
+
 TEST(World, StepBudgetExhaustion) {
   auto w = make_world(/*max_steps=*/10);
   w->add_process("spin", [](Proc p) -> Task<void> {
