@@ -61,10 +61,15 @@ void run() {
   }
 
   obs::BenchReport report("abd2_exact_game");
-  report.set_metric("bad_probability", value.to_double());
+  bench::set_exact_probability(report, "bad_probability", value.to_double());
   report.set_metric_string("bad_probability_exact", value.to_string());
   report.set_metric("termination_probability",
                     (Rational(1) - value).to_double());
+  // Watchdog instance: the exact 5/8 must sit under the generic 7/8 bound
+  // (k=2, r=1, n=3, Prob[O]=1, Prob[O_a]=1/2) with margin 1/4.
+  bench::set_thm42_instance(report, /*k=*/2, /*r=*/1, /*n=*/3,
+                            /*prob_lin=*/1.0, /*prob_atomic=*/0.5,
+                            value.to_double());
   report.set_metric_bool("refined_bound_tight", value == Rational(5, 8));
   report.set_metric_int("game_states_visited",
                         static_cast<std::int64_t>(stats.states_visited));

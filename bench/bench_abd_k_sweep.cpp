@@ -86,9 +86,15 @@ void run() {
     row["solve_ms"] = obs::Json(secs * 1000.0);
     sweep_rows.emplace_back(std::move(row));
     if (k == std::min(2, max_k)) {  // headline row: ABD² when swept
-      report.set_metric("bad_probability", exact.to_double());
+      bench::set_exact_probability(report, "bad_probability",
+                                   exact.to_double());
       report.set_metric_string("bad_probability_exact", exact.to_string());
-      report.set_metric("bad_probability_mc_pooled", mc.pooled.mean());
+      bench::set_bernoulli_metric(report, "bad_probability_mc_pooled",
+                                  mc.pooled);
+      bench::set_thm42_instance(report, k, /*r=*/1,
+                                /*n=*/bench::kWeakenerNumProcesses,
+                                prob_lin.to_double(), prob_atomic.to_double(),
+                                exact.to_double());
     }
   }
   bench::print_rule();

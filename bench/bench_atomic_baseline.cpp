@@ -99,12 +99,14 @@ void run() {
                   : "DISAGREE (!)");
 
   obs::BenchReport report("atomic_baseline");
-  report.set_metric("bad_probability", game_value.to_double());
+  bench::set_exact_probability(report, "bad_probability",
+                               game_value.to_double());
   report.set_metric_string("bad_probability_exact", game_value.to_string());
   report.set_metric("termination_probability",
                     (Rational(1) - game_value).to_double());
-  report.set_metric("bad_probability_explorer", ex.value.to_double());
-  report.set_metric("bad_probability_mc_pooled", mc.pooled.mean());
+  bench::set_exact_probability(report, "bad_probability_explorer",
+                               ex.value.to_double());
+  bench::set_bernoulli_metric(report, "bad_probability_mc_pooled", mc.pooled);
   report.set_metric("bad_probability_mc_best_seed", mc.best_rate);
   report.set_metric_int("explorer_executions", ex.executions);
   report.set_metric_int("game_states_visited",

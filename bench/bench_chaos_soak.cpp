@@ -351,6 +351,10 @@ void run() {
   report.set_metric_int("completed", total_completed);
   report.set_metric_int("linearizable", total_lin);
   report.set_metric_int("violations", total_completed - total_lin);
+  // Headline bad probability = linearizability violations per completed run
+  // (expected 0; the Wilson interval tightens as BLUNT_CHAOS_TRIALS grows).
+  bench::set_bernoulli_metric(report, "bad_probability",
+                              total_completed - total_lin, total_completed);
   report.set_metric_bool("all_terminated", all_terminated);
   report.set_metric_bool("all_linearizable", all_linearizable);
   report.set_metric_int("messages_lost",

@@ -138,11 +138,8 @@ void run() {
   }
   // Bad outcome for consensus = not everyone decided within max_rounds
   // (under the weak random scheduler; expected ~0 for every implementation).
-  report.set_metric("bad_probability",
-                    pooled_runs == 0
-                        ? 0.0
-                        : 1.0 - static_cast<double>(pooled_decided) /
-                                    pooled_runs);
+  bench::set_bernoulli_metric(report, "bad_probability",
+                              pooled_runs - pooled_decided, pooled_runs);
   report.set_metric_json("implementations", obs::Json(std::move(impl_rows)));
   report.set_environment_int("runs_per_impl", 60);
   bench::write_report(report);

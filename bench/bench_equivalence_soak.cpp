@@ -205,10 +205,8 @@ void run() {
 
   obs::BenchReport report("equivalence_soak");
   // Bad outcome here = a linearizability violation; Theorem 4.1 says zero.
-  report.set_metric("bad_probability",
-                    total_runs == 0
-                        ? 0.0
-                        : static_cast<double>(total_violations) / total_runs);
+  bench::set_bernoulli_metric(report, "bad_probability", total_violations,
+                              total_runs);
   report.set_metric_int("total_runs", total_runs);
   report.set_metric_int("violations", total_violations);
   report.set_metric_bool("theorem41_holds", all_ok);

@@ -75,7 +75,12 @@ void run() {
   obs::BenchReport report("figure1_adversary");
   // The Figure 1 adversary wins deterministically for both coin values:
   // bad-outcome probability 1 (termination probability 0, Appendix A.2).
-  report.set_metric("bad_probability", wins / 2.0);
+  // Exhaustive over the coin space, so the value is exact, not sampled.
+  bench::set_exact_probability(report, "bad_probability", wins / 2.0);
+  // k=1 leaves the Theorem 4.2 bound vacuous (bound = Prob[O] = 1): the
+  // watchdog checks that the observed probability-1 loop does not EXCEED it.
+  bench::set_thm42_instance(report, /*k=*/1, /*r=*/1, /*n=*/3,
+                            /*prob_lin=*/1.0, /*prob_atomic=*/0.5, wins / 2.0);
   report.set_metric_int("adversary_wins", wins);
   report.set_metric_int("coin_branches", 2);
   report.set_metric_bool("strong_linearizability_refuted", !strong.ok);

@@ -139,7 +139,8 @@ void part2_rounds(obs::BenchReport& report) {
     if (t_rounds == 1) {
       // Headline: the single-round ABD² bound — the same 5/8-adjacent
       // quantity the other k=2 benches report (here the generic 7/8 bound).
-      report.set_metric("bad_probability", composed.to_double());
+      bench::set_exact_probability(report, "bad_probability",
+                                   composed.to_double());
       report.set_metric_string("bad_probability_exact", composed.to_string());
     }
   }

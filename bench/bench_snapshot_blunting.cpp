@@ -96,9 +96,13 @@ void run() {
     row["thm42_bound"] = obs::Json(bound.to_string());
     sweep_rows.emplace_back(std::move(row));
     if (k == 2) {
-      report.set_metric("bad_probability", exact.to_double());
+      bench::set_exact_probability(report, "bad_probability",
+                                   exact.to_double());
       report.set_metric_string("bad_probability_exact", exact.to_string());
-      report.set_metric("bad_probability_mc", bad.mean());
+      bench::set_bernoulli_metric(report, "bad_probability_mc", bad);
+      bench::set_thm42_instance(report, k, /*r=*/1, /*n=*/3,
+                                /*prob_lin=*/1.0, /*prob_atomic=*/0.5,
+                                exact.to_double());
     }
   }
   report.set_metric_json("sweep", obs::Json(std::move(sweep_rows)));

@@ -86,8 +86,13 @@ void run() {
   }
   const Rational k2 =
       core::theorem42_bound(2, 1, 3, Rational(1), Rational(1, 2));
-  report.set_metric("bad_probability", k2.to_double());
+  bench::set_exact_probability(report, "bad_probability", k2.to_double());
   report.set_metric_string("bad_probability_exact", k2.to_string());
+  // This bench's headline IS the k=2 generic bound, so the watchdog margin
+  // is exactly zero — any arithmetic drift in core::bounds trips it.
+  bench::set_thm42_instance(report, /*k=*/2, /*r=*/1, /*n=*/3,
+                            /*prob_lin=*/1.0, /*prob_atomic=*/0.5,
+                            k2.to_double());
   report.set_metric_json("weakener_bounds", obs::Json(std::move(bounds)));
   obs::JsonArray tradeoff;
   for (const double eps : {0.5, 0.25, 0.1, 0.05, 0.01}) {

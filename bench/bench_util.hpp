@@ -6,7 +6,10 @@
 #include <string>
 
 #include "adversary/mc_search.hpp"
+#include "common/stats.hpp"
+#include "core/bounds.hpp"
 #include "objects/abd.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "programs/weakener.hpp"
@@ -96,14 +99,77 @@ inline void merge_probe(obs::BenchReport& report, obs::MetricsSnapshot s) {
   report.merge_registry(s);
 }
 
-/// Writes BENCH_<name>.json and echoes where it went (kept on one line so
-/// the human tables above stay the primary console artifact).
+/// Probability reporting convention (consumed by obs::compare and
+/// tools/blunt_report): a Bernoulli metric `K` always travels with `K_lo`,
+/// `K_hi` (Wilson 95% interval) and `K_trials`, so the comparator never has
+/// to guess sample sizes. The headline `bad_probability` additionally gets
+/// the plain `trials` key.
+inline void set_bernoulli_metric(obs::BenchReport& report,
+                                 const std::string& key,
+                                 std::int64_t successes, std::int64_t trials) {
+  const Interval iv = wilson_interval(successes, trials);
+  report.set_metric(key, trials == 0 ? 0.0
+                                     : static_cast<double>(successes) /
+                                           static_cast<double>(trials));
+  report.set_metric(key + "_lo", iv.lo);
+  report.set_metric(key + "_hi", iv.hi);
+  report.set_metric_int(key + "_trials", trials);
+  if (key == "bad_probability") report.set_metric_int("trials", trials);
+}
+
+inline void set_bernoulli_metric(obs::BenchReport& report,
+                                 const std::string& key,
+                                 const BernoulliEstimator& est) {
+  set_bernoulli_metric(report, key, est.successes(), est.trials());
+}
+
+/// Analytic / exactly-solved probabilities carry a degenerate interval and
+/// `_trials` = 0 (the marker for "not a sample — any drift is significant").
+inline void set_exact_probability(obs::BenchReport& report,
+                                  const std::string& key, double value) {
+  report.set_metric(key, value);
+  report.set_metric(key + "_lo", value);
+  report.set_metric(key + "_hi", value);
+  report.set_metric_int(key + "_trials", 0);
+  if (key == "bad_probability") report.set_metric_int("trials", 0);
+}
+
+/// Declares the report's blunting instance for the Theorem 4.2 watchdog:
+/// obs::check_thm42_bound recomputes the closed-form bound from (k, r, n,
+/// Prob[O], Prob[O_a]) and hard-fails any report whose empirical
+/// bad_probability Wilson interval lies above it. `empirical_bad` feeds the
+/// bound_margin headline (how much slack the measurement leaves).
+inline void set_thm42_instance(obs::BenchReport& report, int k, int r, int n,
+                               double prob_lin, double prob_atomic,
+                               double empirical_bad) {
+  const double bound = core::theorem42_bound_f(k, r, n, prob_lin, prob_atomic);
+  report.set_metric_int("thm42_k", k);
+  report.set_metric_int("thm42_r", r);
+  report.set_metric_int("thm42_n", n);
+  report.set_metric("thm42_prob_lin", prob_lin);
+  report.set_metric("thm42_prob_atomic", prob_atomic);
+  report.set_metric("bound_value", bound);
+  report.set_metric("bound_margin", bound - empirical_bad);
+}
+
+/// Writes BENCH_<name>.json, appends the stamped report to the experiment
+/// ledger (BENCH_HISTORY.jsonl; opt out with BLUNT_LEDGER=0), and echoes
+/// where both went (kept on single lines so the human tables above stay the
+/// primary console artifact).
 inline void write_report(obs::BenchReport& report) {
   try {
     const std::string path = report.write();
     std::printf("\nbench report: %s\n", path.c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench report FAILED: %s\n", e.what());
+    return;
+  }
+  if (!obs::ledger_enabled()) return;
+  try {
+    const std::string ledger = obs::append_report(report.to_json());
+    std::printf("ledger entry: %s\n", ledger.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ledger append FAILED: %s\n", e.what());
   }
 }
 

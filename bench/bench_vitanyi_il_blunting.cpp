@@ -100,9 +100,15 @@ void vitanyi_part(obs::BenchReport& report) {
     row["chains_checked"] = obs::Json(chains);
     va_rows.emplace_back(std::move(row));
     if (k == 2) {
-      report.set_metric("bad_probability", exact.to_double());
+      bench::set_exact_probability(report, "bad_probability",
+                                   exact.to_double());
       report.set_metric_string("bad_probability_exact", exact.to_string());
-      report.set_metric("bad_probability_mc", bad.mean());
+      bench::set_bernoulli_metric(report, "bad_probability_mc", bad);
+      // The VA weakener is the same r=1, n=3 blunting instance (Prob[O]<=1
+      // trivially), so the generic bound applies verbatim.
+      bench::set_thm42_instance(report, k, /*r=*/1, /*n=*/3,
+                                /*prob_lin=*/1.0, /*prob_atomic=*/0.5,
+                                exact.to_double());
     }
   }
   report.set_metric_json("vitanyi_sweep", obs::Json(std::move(va_rows)));

@@ -1,0 +1,89 @@
+// Statistical comparison of bench reports — the regression gate's brain.
+//
+// Given a baseline and a current report (two files, or two ledger entries),
+// every comparable quantity is classified as improved / regressed / neutral
+// with the statistical evidence attached:
+//
+//   * Bernoulli metrics (bad probabilities, violation rates) use Wilson 95%
+//     interval overlap: a verdict other than neutral requires DISJOINT
+//     intervals, so small-sample jitter can never fail the gate. A metric
+//     `K` is Bernoulli when it carries `K_lo` / `K_hi` companions (written
+//     by bench::set_bernoulli_metric / set_exact_probability; `K_trials` =
+//     0 marks an exact analytic value with a degenerate interval). Lower is
+//     better by convention — these are bad-outcome probabilities.
+//   * timings_ms entries use a relative threshold over a noise floor:
+//     below the floor both ways, timing is noise and stays neutral.
+//   * registry counters use relative deltas with their own floor; message /
+//     step / retransmission counts growing past it is a regression.
+//
+// The Theorem 4.2 bound watchdog rides along: a report that declares its
+// blunting instance (`thm42_k`, `thm42_r`, `thm42_n`, `thm42_prob_lin`,
+// `thm42_prob_atomic`) has its empirical `bad_probability` checked against
+// the closed-form bound of Section 4.2. A Wilson interval lying entirely on
+// the wrong side of the bound is a HARD FAILURE (kBoundViolated), not a mere
+// regression — it means the measurement contradicts the theorem (or the
+// implementation no longer satisfies its hypotheses).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace blunt::obs {
+
+enum class Verdict {
+  kImproved,
+  kNeutral,
+  kRegressed,
+  kBoundViolated,  // Theorem 4.2 watchdog: empirical estimate beats the bound
+};
+
+[[nodiscard]] const char* to_string(Verdict v);
+
+struct MetricComparison {
+  std::string bench;
+  std::string metric;  // dotted path, e.g. "metrics.bad_probability"
+  std::string kind;    // "bernoulli" | "timing" | "counter" | "scalar" |
+                       // "flag" | "bound"
+  Verdict verdict = Verdict::kNeutral;
+  double baseline = 0.0;
+  double current = 0.0;
+  std::string evidence;  // human-readable justification
+};
+
+struct CompareOptions {
+  /// Timing regression needs current > baseline * (1 + threshold) and both
+  /// sides above the noise floor.
+  double timing_rel_threshold = 0.50;
+  double timing_noise_floor_ms = 5.0;
+  /// Counter regression needs |delta| > max(floor, rel * baseline).
+  double counter_rel_threshold = 0.25;
+  double counter_noise_floor = 64.0;
+  /// Cross-host comparisons (different machines, committed baselines) should
+  /// not gate on wall-clock: timings report as neutral with a note.
+  bool trust_timings = true;
+};
+
+struct CompareResult {
+  std::vector<MetricComparison> comparisons;
+
+  [[nodiscard]] bool has_regression() const;
+  [[nodiscard]] bool has_bound_violation() const;
+};
+
+/// Classifies every metric, timing, and counter of `current` against
+/// `baseline` (both full blunt-bench-report documents of the same bench) and
+/// runs the bound watchdog on `current`.
+[[nodiscard]] CompareResult compare_reports(const Json& baseline,
+                                            const Json& current,
+                                            const CompareOptions& opts = {});
+
+/// The Theorem 4.2 watchdog alone (no baseline needed): empty vector when
+/// the report declares no blunting instance; one "bound" comparison row —
+/// kBoundViolated or kNeutral — otherwise. Also cross-checks the report's
+/// stored `bound_value` against the recomputed closed form.
+[[nodiscard]] std::vector<MetricComparison> check_thm42_bound(
+    const Json& report);
+
+}  // namespace blunt::obs

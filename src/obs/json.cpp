@@ -110,7 +110,11 @@ void newline_pad(std::string& out, int indent, int depth) {
 }
 
 std::string dump_double(double d) {
-  if (!std::isfinite(d)) return "null";  // JSON has no Inf/NaN
+  // JSON has no Inf/NaN. Silently emitting null here once masked broken
+  // metrics; a non-finite value is always an upstream bug, so fail loudly.
+  if (!std::isfinite(d)) {
+    fail("cannot serialize non-finite double (NaN or Inf)");
+  }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", d);
   // Trim to the shortest representation that round-trips.

@@ -77,7 +77,9 @@ class Json {
   [[nodiscard]] const Json* find(const std::string& key) const;
 
   /// Compact serialization (no insignificant whitespace) when indent < 0;
-  /// pretty-printed with `indent` spaces per level otherwise.
+  /// pretty-printed with `indent` spaces per level otherwise. Throws
+  /// std::runtime_error on non-finite doubles (NaN/Inf have no JSON form —
+  /// failing loudly beats silently nulling a broken metric).
   [[nodiscard]] std::string dump(int indent = -1) const;
 
   /// Strict parse of exactly one document (trailing non-space input is an

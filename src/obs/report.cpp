@@ -1,5 +1,6 @@
 #include "obs/report.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <utility>
 
@@ -109,8 +110,34 @@ std::string BenchReport::write() {
   return path;
 }
 
+namespace {
+
+/// Depth-first scan for NaN/Inf; returns the path of the first offender,
+/// empty string when the whole tree is finite.
+std::string find_nonfinite(const Json& j, const std::string& path) {
+  if (j.is_double() && !std::isfinite(j.as_double())) return path;
+  if (j.is_array()) {
+    const JsonArray& a = j.as_array();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      std::string hit = find_nonfinite(a[i], path + "[" + std::to_string(i) + "]");
+      if (!hit.empty()) return hit;
+    }
+  } else if (j.is_object()) {
+    for (const auto& [k, v] : j.as_object()) {
+      std::string hit = find_nonfinite(v, path.empty() ? k : path + "." + k);
+      if (!hit.empty()) return hit;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
 std::string validate_report_json(const Json& j) {
   if (!j.is_object()) return "report is not a JSON object";
+  if (const std::string hit = find_nonfinite(j, ""); !hit.empty()) {
+    return "non-finite number (NaN/Inf) at \"" + hit + "\"";
+  }
   const Json* schema = j.find("schema");
   if (schema == nullptr || !schema->is_string() ||
       schema->as_string() != "blunt-bench-report") {

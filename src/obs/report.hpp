@@ -73,9 +73,9 @@ class BenchReport {
 };
 
 /// Validates the shape every report must satisfy (used by tests and the CI
-/// smoke check): schema marker, bench name, the four sections, and a total
-/// wall-clock timing. Returns an explanation for the first violation, empty
-/// string when valid.
+/// smoke check): schema marker, bench name, the four sections, a total
+/// wall-clock timing, and no non-finite numbers anywhere in the document.
+/// Returns an explanation for the first violation, empty string when valid.
 [[nodiscard]] std::string validate_report_json(const Json& j);
 
 }  // namespace blunt::obs

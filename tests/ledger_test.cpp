@@ -1,0 +1,163 @@
+// The experiment ledger: append/load round-trip, corrupted-line tolerance,
+// and per-metric series reconstruction.
+#include "obs/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace blunt::obs {
+namespace {
+
+/// A unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(std::string(::testing::TempDir()) + "blunt_ledger_" + tag +
+              ".jsonl") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+[[nodiscard]] Json make_report(const std::string& bench, double bad,
+                               double total_ms) {
+  BenchReport r(bench);
+  r.set_metric("bad_probability", bad);
+  r.add_timing_ms("total", total_ms);
+  return r.to_json();
+}
+
+[[nodiscard]] LedgerStamp stamp(const std::string& sha, std::int64_t ts) {
+  LedgerStamp s;
+  s.git_sha = sha;
+  s.timestamp_unix_s = ts;
+  s.hostname = "testhost";
+  s.build_flavor = "Debug";
+  return s;
+}
+
+TEST(Ledger, AppendLoadRoundTrip) {
+  TempFile f("roundtrip");
+  append_entry(f.path(), {stamp("aaa", 100), make_report("b1", 0.5, 10.0)});
+  append_entry(f.path(), {stamp("bbb", 200), make_report("b1", 0.625, 12.0)});
+
+  const Ledger ledger = load_ledger(f.path());
+  ASSERT_EQ(ledger.entries.size(), 2u);
+  EXPECT_EQ(ledger.skipped_lines, 0);
+  EXPECT_EQ(ledger.entries[0].stamp.git_sha, "aaa");
+  EXPECT_EQ(ledger.entries[0].stamp.timestamp_unix_s, 100);
+  EXPECT_EQ(ledger.entries[0].stamp.hostname, "testhost");
+  EXPECT_EQ(ledger.entries[0].stamp.build_flavor, "Debug");
+  EXPECT_EQ(ledger.entries[1].stamp.git_sha, "bbb");
+  EXPECT_EQ(ledger.entries[0].report, make_report("b1", 0.5, 10.0));
+  EXPECT_EQ(
+      ledger.entries[1].report.at("metrics").at("bad_probability").as_double(),
+      0.625);
+}
+
+TEST(Ledger, MissingFileIsEmptyNotError) {
+  const Ledger ledger = load_ledger("/nonexistent/dir/BENCH_HISTORY.jsonl");
+  EXPECT_TRUE(ledger.entries.empty());
+  EXPECT_EQ(ledger.skipped_lines, 0);
+}
+
+TEST(Ledger, CorruptedLinesAreSkippedAndCounted) {
+  TempFile f("corrupt");
+  append_entry(f.path(), {stamp("aaa", 100), make_report("b1", 0.5, 10.0)});
+  {
+    std::ofstream out(f.path(), std::ios::app);
+    out << "{truncated partial wri\n";           // torn write
+    out << "\n";                                  // blank: silently ignored
+    out << "{\"schema\": \"wrong-schema\"}\n";   // valid JSON, wrong shape
+    out << "not json at all\n";                   // garbage
+  }
+  append_entry(f.path(), {stamp("bbb", 200), make_report("b1", 0.6, 11.0)});
+
+  const Ledger ledger = load_ledger(f.path());
+  ASSERT_EQ(ledger.entries.size(), 2u);  // the good lines survive
+  EXPECT_EQ(ledger.skipped_lines, 3);    // blank line not counted
+  EXPECT_EQ(ledger.entries[1].stamp.git_sha, "bbb");
+}
+
+TEST(Ledger, EntryValidationRejectsBadShapes) {
+  EXPECT_NE(validate_entry_json(Json(1)), "");
+  JsonObject o;
+  o["schema"] = Json("blunt-ledger-entry");
+  EXPECT_NE(validate_entry_json(Json(o)), "");  // missing everything else
+  const Json good =
+      entry_to_json({stamp("aaa", 1), make_report("b", 0.1, 1.0)});
+  EXPECT_EQ(validate_entry_json(good), "");
+  // An entry wrapping an invalid report is itself invalid.
+  JsonObject bad = good.as_object();
+  bad["report"] = Json(JsonObject{});
+  EXPECT_NE(validate_entry_json(Json(bad)), "");
+}
+
+TEST(Ledger, MetricSeriesAcrossEntriesFiltersBenchAndPath) {
+  TempFile f("series");
+  append_entry(f.path(), {stamp("c1", 10), make_report("b1", 0.50, 10.0)});
+  append_entry(f.path(), {stamp("c2", 20), make_report("b2", 0.99, 99.0)});
+  append_entry(f.path(), {stamp("c3", 30), make_report("b1", 0.55, 11.0)});
+  append_entry(f.path(), {stamp("c4", 40), make_report("b1", 0.60, 12.0)});
+
+  const Ledger ledger = load_ledger(f.path());
+  const auto series = metric_series(ledger, "b1", "metrics.bad_probability");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].value, 0.50);
+  EXPECT_EQ(series[1].value, 0.55);
+  EXPECT_EQ(series[2].value, 0.60);
+  EXPECT_EQ(series[0].stamp.git_sha, "c1");
+  EXPECT_EQ(series[2].entry_index, 3u);
+
+  const auto timings = metric_series(ledger, "b1", "timings_ms.total");
+  ASSERT_EQ(timings.size(), 3u);
+  EXPECT_EQ(timings[2].value, 12.0);
+
+  EXPECT_TRUE(metric_series(ledger, "b1", "metrics.nope").empty());
+  EXPECT_TRUE(metric_series(ledger, "nope", "metrics.bad_probability").empty());
+}
+
+TEST(Ledger, ResolveMetricPathHandlesDottedCounterNames) {
+  BenchReport r("b");
+  MetricsRegistry reg;
+  reg.counter("net.messages_sent")->inc(7);
+  r.merge_registry(reg.snapshot());
+  r.add_timing_ms("total", 1.0);
+  const Json j = r.to_json();
+  const Json* v =
+      resolve_metric_path(j, "registry.counters.net.messages_sent");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->as_int(), 7);
+  EXPECT_EQ(resolve_metric_path(j, "registry.counters.absent"), nullptr);
+  EXPECT_EQ(resolve_metric_path(j, "bogus.path"), nullptr);
+}
+
+TEST(Ledger, CollectStampHasProvenance) {
+  const LedgerStamp s = collect_stamp();
+  EXPECT_FALSE(s.git_sha.empty());
+  EXPECT_FALSE(s.hostname.empty());
+  EXPECT_FALSE(s.build_flavor.empty());
+  EXPECT_GT(s.timestamp_unix_s, 0);
+}
+
+TEST(Ledger, DefaultPathFollowsBenchDirEnv) {
+  // Only exercised when the env knobs are unset (the common CI case).
+  if (std::getenv("BLUNT_LEDGER_PATH") == nullptr &&
+      std::getenv("BLUNT_BENCH_DIR") == nullptr) {
+    EXPECT_EQ(default_ledger_path(), "./BENCH_HISTORY.jsonl");
+  }
+  EXPECT_TRUE(ledger_enabled() || std::getenv("BLUNT_LEDGER") != nullptr);
+}
+
+}  // namespace
+}  // namespace blunt::obs

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 
@@ -129,6 +133,45 @@ TEST(ValidateReport, RejectsMissingSections) {
   o["schema"] = Json(std::string("blunt-bench-report"));
   EXPECT_NE(validate_report_json(Json(o)), "");
   EXPECT_NE(validate_report_json(Json(std::string("nope"))), "");
+}
+
+// NaN/Inf have no JSON representation; a non-finite metric is always an
+// upstream bug, so serialization must fail loudly (never emit invalid JSON
+// or a silent null) and validation must reject the in-memory document.
+TEST(JsonNonFinite, DumpThrowsInsteadOfEmittingInvalidJson) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)Json(nan).dump(), std::runtime_error);
+  EXPECT_THROW((void)Json(inf).dump(), std::runtime_error);
+  EXPECT_THROW((void)Json(-inf).dump(2), std::runtime_error);
+  JsonArray nested;
+  nested.emplace_back(JsonObject{{"x", Json(nan)}});
+  EXPECT_THROW((void)Json(nested).dump(), std::runtime_error);
+  // Finite doubles still round-trip.
+  EXPECT_EQ(Json(0.625).dump(), "0.625");
+}
+
+TEST(ValidateReport, RejectsNonFiniteAnywhereInTheDocument) {
+  BenchReport r("nonfinite_test");
+  r.add_timing_ms("total", 1.0);
+  ASSERT_EQ(validate_report_json(r.to_json()), "");
+
+  r.set_metric("bad_probability", std::nan(""));
+  const std::string err = validate_report_json(r.to_json());
+  EXPECT_NE(err, "");
+  EXPECT_NE(err.find("non-finite"), std::string::npos);
+  EXPECT_NE(err.find("bad_probability"), std::string::npos);
+  EXPECT_THROW((void)r.to_json().dump(), std::runtime_error);
+
+  // Deeply nested offenders are found too (inside metric payload arrays).
+  BenchReport r2("nonfinite_nested");
+  r2.add_timing_ms("total", 1.0);
+  JsonArray rows;
+  rows.emplace_back(JsonObject{
+      {"v", Json(std::numeric_limits<double>::infinity())}});
+  r2.set_metric_json("sweep", Json(std::move(rows)));
+  EXPECT_NE(validate_report_json(r2.to_json()).find("non-finite"),
+            std::string::npos);
 }
 
 }  // namespace
