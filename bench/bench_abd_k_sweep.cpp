@@ -1,124 +1,10 @@
 // E3 (Appendix A.3 / Theorem 4.2): the headline table — weakener
-// bad-outcome probability over ABD^k as k grows.
+// bad-outcome probability over ABD^k as k grows. BLUNT_MAX_K widens the
+// sweep (default 3, max 4).
 //
-// Columns per k:
-//   exact Prob[bad]     — the optimal strong adversary's value, solved
-//                         exactly on the phase-level game (src/game);
-//   exact termination   — 1 minus that;
-//   Thm 4.2 bound       — 1/2 + (1 − ((k−1)/k)²) · 1/2, the paper's generic
-//                         guarantee (r = 1, n = 3, Prob[O] = 1, Prob[O_a] = ½);
-//   random-sched MC     — a weak-adversary baseline on the real simulator.
-//
-// Paper shape reproduced: k = 1 gives 1 (zero termination, Appendix A.2);
-// k = 2 gives exactly 5/8 (the refined A.3.2 bound is tight, termination
-// 3/8 >= the generic 1/8); values decrease toward the atomic 1/2 as k grows.
-// Beyond the paper: the exact values follow 1/2 + 1/(2k²) for k >= 2.
-#include <algorithm>
-#include <chrono>
-#include <cstdio>
-#include <cstdlib>
+// The workload lives in src/exp/exp_abd_k_sweep.cpp as a registered
+// experiment; this binary is its serial entry point (historical behavior —
+// set $BLUNT_EXP_THREADS or use tools/blunt_exp for parallel runs).
+#include "exp/runner.hpp"
 
-#include "bench_util.hpp"
-#include "core/bounds.hpp"
-#include "game/abd_phase_game.hpp"
-#include "game/solver.hpp"
-
-namespace blunt {
-namespace {
-
-void run() {
-  int max_k = 3;  // k=4 adds ~40s; enable with BLUNT_MAX_K=4
-  if (const char* env = std::getenv("BLUNT_MAX_K")) {
-    max_k = std::atoi(env);
-    if (max_k < 1) max_k = 1;
-    if (max_k > 4) max_k = 4;
-  }
-
-  bench::print_header(
-      "E3: weakener over ABD^k — exact adversary value vs Theorem 4.2 "
-      "(r=1, n=3)");
-  bench::print_rule();
-  std::printf("%4s %14s %14s %16s %16s %12s\n", "k", "exact bad",
-              "exact term.", "Thm4.2 bad <=", "Thm4.2 term. >=",
-              "random MC");
-  bench::print_rule();
-  std::printf("%4s %14s %14s %16s %16s %12s   <- atomic objects (O_a)\n",
-              "-", "1/2", "1/2", "-", "-", "-");
-
-  const Rational prob_lin(1);      // Prob[O]: Appendix A.2
-  const Rational prob_atomic(1, 2);  // Prob[O_a]: Appendix A.1
-
-  obs::BenchReport report("abd_k_sweep");
-  obs::MetricsRegistry mc_metrics;
-  obs::JsonArray sweep_rows;
-  for (int k = 1; k <= max_k; ++k) {
-    const auto t0 = std::chrono::steady_clock::now();
-    game::SolveStats stats;
-    const Rational exact =
-        game::solve(game::AbdPhaseWeakenerGame(k), &stats);
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    const Rational bound =
-        core::theorem42_bound(k, /*r=*/1, /*n=*/3, prob_lin, prob_atomic);
-
-    // Weak-adversary Monte-Carlo baseline on the real protocol.
-    const adversary::McSearchResult mc =
-        adversary::search_random_adversaries(
-            [k](std::uint64_t seed) { return bench::make_abd_weakener(seed, k); },
-            /*scheduler_seeds=*/5, /*trials_per_seed=*/100, &mc_metrics);
-
-    std::printf("%4d %14s %14s %16s %16s %12.3f   (%zu states, %.1fs)\n", k,
-                exact.to_string().c_str(),
-                (Rational(1) - exact).to_string().c_str(),
-                bound.to_string().c_str(),
-                (Rational(1) - bound).to_string().c_str(), mc.pooled.mean(),
-                stats.states_visited, secs);
-
-    obs::JsonObject row;
-    row["k"] = obs::Json(k);
-    row["bad_exact"] = obs::Json(exact.to_string());
-    row["bad_exact_double"] = obs::Json(exact.to_double());
-    row["thm42_bound"] = obs::Json(bound.to_string());
-    row["bad_mc"] = obs::Json(mc.pooled.mean());
-    row["game_states"] = obs::Json(static_cast<std::int64_t>(
-        stats.states_visited));
-    row["solve_ms"] = obs::Json(secs * 1000.0);
-    sweep_rows.emplace_back(std::move(row));
-    if (k == std::min(2, max_k)) {  // headline row: ABD² when swept
-      bench::set_exact_probability(report, "bad_probability",
-                                   exact.to_double());
-      report.set_metric_string("bad_probability_exact", exact.to_string());
-      bench::set_bernoulli_metric(report, "bad_probability_mc_pooled",
-                                  mc.pooled);
-      bench::set_thm42_instance(report, k, /*r=*/1,
-                                /*n=*/bench::kWeakenerNumProcesses,
-                                prob_lin.to_double(), prob_atomic.to_double(),
-                                exact.to_double());
-    }
-  }
-  bench::print_rule();
-  std::printf(
-      "paper checkpoints: k=1 bad=1 (A.2); k=2 bad<=5/8 (A.3.2) — the exact\n"
-      "value IS 5/8, so the refined analysis is tight; generic Thm 4.2 gives\n"
-      "only 7/8. Exact values follow 1/2 + 1/(2k^2) for k>=2 (beyond-paper).\n");
-
-  report.set_metric_json("sweep", obs::Json(std::move(sweep_rows)));
-  report.set_environment_int("max_k", max_k);
-  report.set_environment_int("num_processes", bench::kWeakenerNumProcesses);
-  report.merge_registry(mc_metrics.snapshot());
-  bench::merge_probe(
-      report,
-      bench::run_instrumented_weakener(/*coin_seed=*/0, /*sched_seed=*/0,
-                                       /*k=*/std::min(2, max_k))
-          .snapshot);
-  bench::write_report(report);
-}
-
-}  // namespace
-}  // namespace blunt
-
-int main() {
-  blunt::run();
-  return 0;
-}
+int main() { return blunt::exp::run_experiment_main("abd_k_sweep"); }

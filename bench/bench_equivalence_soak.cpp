@@ -1,228 +1,9 @@
-// E7 (Theorem 4.1): O^k is equivalent to O — operationally, every execution
-// of every transformed object is linearizable w.r.t. the same sequential
-// specification.
+// E7 (Theorem 4.1): every O^k history linearizable — the equivalence soak
+// over the full object catalogue.
 //
-// Soak: for each object in the catalogue (ABD multi-/single-writer, Afek
-// snapshot, Vitanyi–Awerbuch, Israeli–Li) and k in {1, 2, 3}, run many
-// adversarially-scheduled concurrent workloads and check every history with
-// the Wing–Gong checker. The table reports runs checked and violations
-// found (expected: zero everywhere).
-#include <cstdio>
-#include <functional>
+// The workload lives in src/exp/exp_equivalence_soak.cpp as a registered
+// experiment; this binary is its serial entry point (historical behavior —
+// set $BLUNT_EXP_THREADS or use tools/blunt_exp for parallel runs).
+#include "exp/runner.hpp"
 
-#include "bench_util.hpp"
-#include "lin/check.hpp"
-#include "lin/history.hpp"
-#include "objects/israeli_li.hpp"
-#include "objects/snapshot.hpp"
-#include "objects/vitanyi.hpp"
-#include "sim/adversaries.hpp"
-
-namespace blunt {
-namespace {
-
-struct SoakResult {
-  int runs = 0;
-  int linearizable = 0;
-};
-
-using Soak = std::function<bool(std::uint64_t seed, int k)>;  // true = lin ok
-
-SoakResult soak(const Soak& one, int k, int runs) {
-  SoakResult res;
-  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(runs);
-       ++seed) {
-    ++res.runs;
-    if (one(seed, k)) ++res.linearizable;
-  }
-  return res;
-}
-
-bool abd_mw(std::uint64_t seed, int k) {
-  auto w = std::make_unique<sim::World>(
-      sim::Config{}, std::make_unique<sim::SeededCoin>(seed));
-  objects::AbdRegister reg("R", *w,
-                           {.num_processes = 3, .preamble_iterations = k});
-  for (Pid pid = 0; pid < 3; ++pid) {
-    w->add_process("p" + std::to_string(pid),
-                   [&reg, pid](sim::Proc p) -> sim::Task<void> {
-                     co_await reg.write(p, sim::Value(std::int64_t{pid}));
-                     (void)co_await reg.read(p);
-                     co_await reg.write(p, sim::Value(std::int64_t{pid + 10}));
-                     (void)co_await reg.read(p);
-                   });
-  }
-  sim::UniformAdversary adv(seed * 7 + 3);
-  if (w->run(adv).status != sim::RunStatus::kCompleted) return false;
-  lin::RegisterSpec spec;
-  return lin::check_linearizable(lin::History::from_world(*w), spec)
-      .linearizable;
-}
-
-bool abd_sw(std::uint64_t seed, int k) {
-  auto w = std::make_unique<sim::World>(
-      sim::Config{}, std::make_unique<sim::SeededCoin>(seed));
-  objects::AbdRegister reg("R", *w,
-                           {.num_processes = 3,
-                            .preamble_iterations = k,
-                            .variant = objects::AbdVariant::kSingleWriter,
-                            .single_writer = 0});
-  w->add_process("w", [&reg](sim::Proc p) -> sim::Task<void> {
-    co_await reg.write(p, sim::Value(std::int64_t{1}));
-    co_await reg.write(p, sim::Value(std::int64_t{2}));
-  });
-  for (Pid pid = 1; pid < 3; ++pid) {
-    w->add_process("r" + std::to_string(pid),
-                   [&reg](sim::Proc p) -> sim::Task<void> {
-                     (void)co_await reg.read(p);
-                     (void)co_await reg.read(p);
-                   });
-  }
-  sim::UniformAdversary adv(seed * 11 + 1);
-  if (w->run(adv).status != sim::RunStatus::kCompleted) return false;
-  lin::RegisterSpec spec;
-  return lin::check_linearizable(lin::History::from_world(*w), spec)
-      .linearizable;
-}
-
-bool snapshot(std::uint64_t seed, int k) {
-  auto w = std::make_unique<sim::World>(
-      sim::Config{}, std::make_unique<sim::SeededCoin>(seed));
-  objects::AfekSnapshot snap("S", *w,
-                             {.num_processes = 3, .preamble_iterations = k});
-  for (Pid pid = 0; pid < 2; ++pid) {
-    w->add_process("u" + std::to_string(pid),
-                   [&snap, pid](sim::Proc p) -> sim::Task<void> {
-                     co_await snap.update(p, pid * 10 + 1);
-                     co_await snap.update(p, pid * 10 + 2);
-                   });
-  }
-  w->add_process("s", [&snap](sim::Proc p) -> sim::Task<void> {
-    (void)co_await snap.scan(p);
-    (void)co_await snap.scan(p);
-  });
-  sim::UniformAdversary adv(seed * 13 + 5);
-  if (w->run(adv).status != sim::RunStatus::kCompleted) return false;
-  lin::SnapshotSpec spec(3);
-  return lin::check_linearizable(lin::History::from_world(*w), spec)
-      .linearizable;
-}
-
-bool vitanyi(std::uint64_t seed, int k) {
-  auto w = std::make_unique<sim::World>(
-      sim::Config{}, std::make_unique<sim::SeededCoin>(seed));
-  objects::VitanyiRegister reg("R", *w,
-                               {.num_processes = 3,
-                                .preamble_iterations = k});
-  for (Pid pid = 0; pid < 3; ++pid) {
-    w->add_process("p" + std::to_string(pid),
-                   [&reg, pid](sim::Proc p) -> sim::Task<void> {
-                     co_await reg.write(p, sim::Value(std::int64_t{pid}));
-                     (void)co_await reg.read(p);
-                     (void)co_await reg.read(p);
-                   });
-  }
-  sim::UniformAdversary adv(seed * 17 + 7);
-  if (w->run(adv).status != sim::RunStatus::kCompleted) return false;
-  lin::RegisterSpec spec;
-  return lin::check_linearizable(lin::History::from_world(*w), spec)
-      .linearizable;
-}
-
-bool israeli_li(std::uint64_t seed, int k) {
-  auto w = std::make_unique<sim::World>(
-      sim::Config{}, std::make_unique<sim::SeededCoin>(seed));
-  objects::IsraeliLiRegister reg(
-      "R", *w,
-      {.num_readers = 2, .writer = 2, .preamble_iterations = k});
-  for (Pid pid = 0; pid < 2; ++pid) {
-    w->add_process("r" + std::to_string(pid),
-                   [&reg](sim::Proc p) -> sim::Task<void> {
-                     (void)co_await reg.read(p);
-                     (void)co_await reg.read(p);
-                   });
-  }
-  w->add_process("w", [&reg](sim::Proc p) -> sim::Task<void> {
-    co_await reg.write(p, sim::Value(std::int64_t{1}));
-    co_await reg.write(p, sim::Value(std::int64_t{2}));
-  });
-  sim::UniformAdversary adv(seed * 19 + 9);
-  if (w->run(adv).status != sim::RunStatus::kCompleted) return false;
-  lin::RegisterSpec spec;
-  return lin::check_linearizable(lin::History::from_world(*w), spec)
-      .linearizable;
-}
-
-void run() {
-  bench::print_header(
-      "E7: Theorem 4.1 equivalence soak — every O^k history linearizable");
-  const int runs = 150;
-  struct Row {
-    const char* name;
-    Soak fn;
-  };
-  const Row rows[] = {
-      {"ABD multi-writer [20]", abd_mw},
-      {"ABD single-writer [3]", abd_sw},
-      {"Afek et al. snapshot [1]", snapshot},
-      {"Vitanyi-Awerbuch MWMR [22]", vitanyi},
-      {"Israeli-Li multi-reader [19]", israeli_li},
-  };
-  bench::print_rule();
-  std::printf("%-30s %8s %12s %12s %12s\n", "object", "runs/k", "k=1 ok",
-              "k=2 ok", "k=3 ok");
-  bench::print_rule();
-  // The soak worlds deliberately run with metrics OFF: this bench doubles as
-  // the observability-overhead regression gate (the disabled-path cost must
-  // stay in the noise). The report carries one instrumented probe instead.
-  bool all_ok = true;
-  int total_runs = 0;
-  int total_violations = 0;
-  obs::JsonArray soak_rows;
-  for (const Row& row : rows) {
-    SoakResult r1 = soak(row.fn, 1, runs);
-    SoakResult r2 = soak(row.fn, 2, runs);
-    SoakResult r3 = soak(row.fn, 3, runs);
-    std::printf("%-30s %8d %12d %12d %12d\n", row.name, runs,
-                r1.linearizable, r2.linearizable, r3.linearizable);
-    all_ok = all_ok && r1.linearizable == runs && r2.linearizable == runs &&
-             r3.linearizable == runs;
-    total_runs += 3 * runs;
-    total_violations += (runs - r1.linearizable) + (runs - r2.linearizable) +
-                        (runs - r3.linearizable);
-    obs::JsonObject jrow;
-    jrow["object"] = obs::Json(std::string(row.name));
-    jrow["runs_per_k"] = obs::Json(runs);
-    jrow["k1_linearizable"] = obs::Json(r1.linearizable);
-    jrow["k2_linearizable"] = obs::Json(r2.linearizable);
-    jrow["k3_linearizable"] = obs::Json(r3.linearizable);
-    soak_rows.emplace_back(std::move(jrow));
-  }
-  bench::print_rule();
-  std::printf("verdict: %s\n",
-              all_ok ? "0 violations — Theorem 4.1 holds on every soak"
-                     : "VIOLATIONS FOUND (!)");
-
-  obs::BenchReport report("equivalence_soak");
-  // Bad outcome here = a linearizability violation; Theorem 4.1 says zero.
-  bench::set_bernoulli_metric(report, "bad_probability", total_violations,
-                              total_runs);
-  report.set_metric_int("total_runs", total_runs);
-  report.set_metric_int("violations", total_violations);
-  report.set_metric_bool("theorem41_holds", all_ok);
-  report.set_metric_json("soak", obs::Json(std::move(soak_rows)));
-  report.set_environment_int("runs_per_cell", runs);
-  bench::merge_probe(
-      report, bench::run_instrumented_weakener(/*coin_seed=*/0,
-                                               /*sched_seed=*/0, /*k=*/2)
-                  .snapshot);
-  bench::write_report(report);
-}
-
-}  // namespace
-}  // namespace blunt
-
-int main() {
-  blunt::run();
-  return 0;
-}
+int main() { return blunt::exp::run_experiment_main("equivalence_soak"); }

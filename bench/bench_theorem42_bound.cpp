@@ -1,122 +1,8 @@
 // E5 (Theorem 4.2): the quantitative blunting bound, tabulated.
 //
-//   Prob[O^k] <= Prob[O_a] + (1 − (max{0,k−r}/k)^(n−1)) (Prob[O] − Prob[O_a])
-//
-// Series reproduced:
-//   * the adversary-advantage fraction 1 − ((k−r)/k)^(n−1) vs k for several
-//     (r, n) — it is 1 (vacuous) while k <= r and decays to 0 as k grows;
-//   * the bound instantiated with the weakener's Prob[O_a] = 1/2,
-//     Prob[O] = 1 — the k-sweep's guarantee column;
-//   * the trade-off knob: the smallest k achieving a target fraction
-//     (Section 4.2's time-vs-probability trade-off).
-#include <cstdio>
+// The workload lives in src/exp/exp_theorem42_bound.cpp as a registered
+// experiment; this binary is its serial entry point (historical behavior —
+// set $BLUNT_EXP_THREADS or use tools/blunt_exp for parallel runs).
+#include "exp/runner.hpp"
 
-#include "bench_util.hpp"
-#include "core/bounds.hpp"
-
-namespace blunt {
-namespace {
-
-void run() {
-  bench::print_header("E5: Theorem 4.2 bound tables");
-
-  std::printf("\nadversary-advantage fraction 1 - (max{0,k-r}/k)^(n-1):\n");
-  bench::print_rule();
-  std::printf("%6s", "k");
-  struct Cfg {
-    int r;
-    int n;
-  };
-  const Cfg cfgs[] = {{1, 2}, {1, 3}, {2, 3}, {4, 3}, {1, 8}, {8, 8}};
-  for (const Cfg& c : cfgs) std::printf("  r=%d,n=%d", c.r, c.n);
-  std::printf("\n");
-  bench::print_rule();
-  for (const int k : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128}) {
-    std::printf("%6d", k);
-    for (const Cfg& c : cfgs) {
-      const double f =
-          1.0 - core::prob_x_lower_bound(k, c.r, c.n).to_double();
-      std::printf("  %7.4f", f);
-    }
-    std::printf("\n");
-  }
-
-  std::printf(
-      "\nbound on Prob[bad] for the weakener instance (Prob[O_a]=1/2, "
-      "Prob[O]=1, r=1, n=3):\n");
-  bench::print_rule();
-  std::printf("%6s %16s %18s\n", "k", "bound (exact)", "termination >=");
-  bench::print_rule();
-  for (const int k : {1, 2, 3, 4, 8, 16, 32, 64}) {
-    const Rational b =
-        core::theorem42_bound(k, 1, 3, Rational(1), Rational(1, 2));
-    std::printf("%6d %16s %18s\n", k, b.to_string().c_str(),
-                (Rational(1) - b).to_string().c_str());
-  }
-
-  std::printf(
-      "\nsmallest k for a target adversary-advantage fraction (Section 4.2 "
-      "trade-off):\n");
-  bench::print_rule();
-  std::printf("%10s", "eps");
-  for (const Cfg& c : cfgs) std::printf("  r=%d,n=%d", c.r, c.n);
-  std::printf("\n");
-  bench::print_rule();
-  for (const double eps : {0.5, 0.25, 0.1, 0.05, 0.01}) {
-    std::printf("%10.2f", eps);
-    for (const Cfg& c : cfgs) {
-      std::printf("  %7d", core::k_for_fraction(eps, c.r, c.n));
-    }
-    std::printf("\n");
-  }
-
-  // Machine-readable twin: the weakener-instance bound series plus an
-  // instrumented simulator probe. This bench is pure arithmetic, so the
-  // "bad probability" reported is the k=2 bound itself.
-  obs::BenchReport report("theorem42_bound");
-  obs::JsonArray bounds;
-  for (const int k : {1, 2, 3, 4, 8, 16, 32, 64}) {
-    const Rational b =
-        core::theorem42_bound(k, 1, 3, Rational(1), Rational(1, 2));
-    obs::JsonObject row;
-    row["k"] = obs::Json(k);
-    row["bound"] = obs::Json(b.to_string());
-    row["bound_double"] = obs::Json(b.to_double());
-    bounds.emplace_back(std::move(row));
-  }
-  const Rational k2 =
-      core::theorem42_bound(2, 1, 3, Rational(1), Rational(1, 2));
-  bench::set_exact_probability(report, "bad_probability", k2.to_double());
-  report.set_metric_string("bad_probability_exact", k2.to_string());
-  // This bench's headline IS the k=2 generic bound, so the watchdog margin
-  // is exactly zero — any arithmetic drift in core::bounds trips it.
-  bench::set_thm42_instance(report, /*k=*/2, /*r=*/1, /*n=*/3,
-                            /*prob_lin=*/1.0, /*prob_atomic=*/0.5,
-                            k2.to_double());
-  report.set_metric_json("weakener_bounds", obs::Json(std::move(bounds)));
-  obs::JsonArray tradeoff;
-  for (const double eps : {0.5, 0.25, 0.1, 0.05, 0.01}) {
-    for (const Cfg& c : cfgs) {
-      obs::JsonObject row;
-      row["eps"] = obs::Json(eps);
-      row["r"] = obs::Json(c.r);
-      row["n"] = obs::Json(c.n);
-      row["k"] = obs::Json(core::k_for_fraction(eps, c.r, c.n));
-      tradeoff.emplace_back(std::move(row));
-    }
-  }
-  report.set_metric_json("k_for_fraction", obs::Json(std::move(tradeoff)));
-  bench::merge_probe(
-      report, bench::run_instrumented_weakener(/*coin_seed=*/0,
-                                               /*sched_seed=*/0, /*k=*/2)
-                  .snapshot);
-  bench::write_report(report);
-}
-
-}  // namespace
-}  // namespace blunt
-
-int main() {
-  blunt::run();
-  return 0;
-}
+int main() { return blunt::exp::run_experiment_main("theorem42_bound"); }

@@ -1,185 +1,25 @@
 // Shared builders and report plumbing for the benchmark suite.
+//
+// The implementations moved to src/exp/workloads.hpp so the experiment
+// engine's registered experiments and the standalone benches share one copy;
+// this header re-exports them under the historical blunt::bench names.
 #pragma once
 
-#include <cstdio>
-#include <memory>
-#include <string>
-
-#include "adversary/mc_search.hpp"
-#include "common/stats.hpp"
-#include "core/bounds.hpp"
-#include "objects/abd.hpp"
-#include "obs/ledger.hpp"
-#include "obs/metrics.hpp"
-#include "obs/report.hpp"
-#include "programs/weakener.hpp"
-#include "sim/adversaries.hpp"
-#include "sim/coin.hpp"
-#include "sim/world.hpp"
+#include "exp/workloads.hpp"
 
 namespace blunt::bench {
 
-/// Replication width of the weakener's ABD registers (the paper's n = 3).
-/// Shared by make_abd_weakener and the sweep benches so a sweep can vary it
-/// in one place.
-inline constexpr int kWeakenerNumProcesses = 3;
-
-/// Weakener over ABD^k registers, coin seeded for Monte-Carlo trials.
-/// `num_processes` is the ABD replication width n (not the number of
-/// weakener processes, which Algorithm 1 fixes at three). `metrics` turns on
-/// the world's observability registry (reach it via inst.world->metrics()).
-inline adversary::McInstance make_abd_weakener(
-    std::uint64_t coin_seed, int k,
-    int num_processes = kWeakenerNumProcesses, bool metrics = false) {
-  adversary::McInstance inst;
-  inst.world = std::make_unique<sim::World>(
-      sim::Config{.metrics = metrics},
-      std::make_unique<sim::SeededCoin>(coin_seed));
-  auto r = std::make_shared<objects::AbdRegister>(
-      "R", *inst.world,
-      objects::AbdRegister::Options{.num_processes = num_processes,
-                                    .preamble_iterations = k});
-  auto c = std::make_shared<objects::AbdRegister>(
-      "C", *inst.world,
-      objects::AbdRegister::Options{.num_processes = num_processes,
-                                    .initial = sim::Value(std::int64_t{-1}),
-                                    .preamble_iterations = k});
-  auto out = std::make_shared<programs::WeakenerOutcome>();
-  programs::install_weakener(*inst.world, *r, *c, *out);
-  inst.bad = [out] { return out->looped(); };
-  inst.owned = {r, c, out};
-  return inst;
-}
-
-/// One metrics-enabled weakener-over-ABD^k run under a uniformly random
-/// scheduler: the representative instrumented run whose registry snapshot
-/// every report carries (step counts by kind, messages, quorum round trips,
-/// preamble iterations, invocation latencies).
-struct ProbeRun {
-  obs::MetricsSnapshot snapshot;
-  sim::RunStatus status = sim::RunStatus::kCompleted;
-  int steps = 0;
-  bool bad = false;
-};
-
-inline ProbeRun run_instrumented_weakener(
-    std::uint64_t coin_seed, std::uint64_t sched_seed, int k,
-    int num_processes = kWeakenerNumProcesses) {
-  adversary::McInstance inst =
-      make_abd_weakener(coin_seed, k, num_processes, /*metrics=*/true);
-  sim::UniformAdversary adv(sched_seed);
-  const sim::RunResult res = inst.world->run(adv);
-  ProbeRun probe;
-  probe.snapshot = inst.world->metrics()->snapshot();
-  probe.status = res.status;
-  probe.steps = res.steps;
-  probe.bad = inst.bad();
-  return probe;
-}
-
-/// Guarantees the canonical cross-bench counters exist (as zeros) even when
-/// a workload never exercises them — e.g. atomic-register benches send no
-/// messages — so every BENCH_*.json exposes the same counter keys.
-inline void ensure_canonical_counters(obs::MetricsSnapshot& s) {
-  for (const char* name :
-       {obs::kMessagesSent, obs::kMessagesDelivered, obs::kMessagesDropped,
-        obs::kQuorumRoundTrips, obs::kPreambleExecuted, obs::kPreambleKept,
-        obs::kRandomDraws, obs::kFaultMessagesLost,
-        obs::kFaultMessagesDuplicated, obs::kFaultPartitionsOpened,
-        obs::kFaultPartitionsHealed, obs::kFaultRetransmissions,
-        obs::kFaultCrashesInjected}) {
-    s.counters.emplace(name, 0);
-  }
-}
-
-/// Merges an instrumented run into the report's registry section, with the
-/// canonical counters guaranteed present.
-inline void merge_probe(obs::BenchReport& report, obs::MetricsSnapshot s) {
-  ensure_canonical_counters(s);
-  report.merge_registry(s);
-}
-
-/// Probability reporting convention (consumed by obs::compare and
-/// tools/blunt_report): a Bernoulli metric `K` always travels with `K_lo`,
-/// `K_hi` (Wilson 95% interval) and `K_trials`, so the comparator never has
-/// to guess sample sizes. The headline `bad_probability` additionally gets
-/// the plain `trials` key.
-inline void set_bernoulli_metric(obs::BenchReport& report,
-                                 const std::string& key,
-                                 std::int64_t successes, std::int64_t trials) {
-  const Interval iv = wilson_interval(successes, trials);
-  report.set_metric(key, trials == 0 ? 0.0
-                                     : static_cast<double>(successes) /
-                                           static_cast<double>(trials));
-  report.set_metric(key + "_lo", iv.lo);
-  report.set_metric(key + "_hi", iv.hi);
-  report.set_metric_int(key + "_trials", trials);
-  if (key == "bad_probability") report.set_metric_int("trials", trials);
-}
-
-inline void set_bernoulli_metric(obs::BenchReport& report,
-                                 const std::string& key,
-                                 const BernoulliEstimator& est) {
-  set_bernoulli_metric(report, key, est.successes(), est.trials());
-}
-
-/// Analytic / exactly-solved probabilities carry a degenerate interval and
-/// `_trials` = 0 (the marker for "not a sample — any drift is significant").
-inline void set_exact_probability(obs::BenchReport& report,
-                                  const std::string& key, double value) {
-  report.set_metric(key, value);
-  report.set_metric(key + "_lo", value);
-  report.set_metric(key + "_hi", value);
-  report.set_metric_int(key + "_trials", 0);
-  if (key == "bad_probability") report.set_metric_int("trials", 0);
-}
-
-/// Declares the report's blunting instance for the Theorem 4.2 watchdog:
-/// obs::check_thm42_bound recomputes the closed-form bound from (k, r, n,
-/// Prob[O], Prob[O_a]) and hard-fails any report whose empirical
-/// bad_probability Wilson interval lies above it. `empirical_bad` feeds the
-/// bound_margin headline (how much slack the measurement leaves).
-inline void set_thm42_instance(obs::BenchReport& report, int k, int r, int n,
-                               double prob_lin, double prob_atomic,
-                               double empirical_bad) {
-  const double bound = core::theorem42_bound_f(k, r, n, prob_lin, prob_atomic);
-  report.set_metric_int("thm42_k", k);
-  report.set_metric_int("thm42_r", r);
-  report.set_metric_int("thm42_n", n);
-  report.set_metric("thm42_prob_lin", prob_lin);
-  report.set_metric("thm42_prob_atomic", prob_atomic);
-  report.set_metric("bound_value", bound);
-  report.set_metric("bound_margin", bound - empirical_bad);
-}
-
-/// Writes BENCH_<name>.json, appends the stamped report to the experiment
-/// ledger (BENCH_HISTORY.jsonl; opt out with BLUNT_LEDGER=0), and echoes
-/// where both went (kept on single lines so the human tables above stay the
-/// primary console artifact).
-inline void write_report(obs::BenchReport& report) {
-  try {
-    const std::string path = report.write();
-    std::printf("\nbench report: %s\n", path.c_str());
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "bench report FAILED: %s\n", e.what());
-    return;
-  }
-  if (!obs::ledger_enabled()) return;
-  try {
-    const std::string ledger = obs::append_report(report.to_json());
-    std::printf("ledger entry: %s\n", ledger.c_str());
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "ledger append FAILED: %s\n", e.what());
-  }
-}
-
-inline void print_header(const std::string& title) {
-  std::printf("\n=== %s ===\n", title.c_str());
-}
-
-inline void print_rule() {
-  std::printf("---------------------------------------------------------------"
-              "---------------\n");
-}
+using exp::kWeakenerNumProcesses;
+using exp::make_abd_weakener;
+using exp::ProbeRun;
+using exp::run_instrumented_weakener;
+using exp::ensure_canonical_counters;
+using exp::merge_probe;
+using exp::set_bernoulli_metric;
+using exp::set_exact_probability;
+using exp::set_thm42_instance;
+using exp::write_report;
+using exp::print_header;
+using exp::print_rule;
 
 }  // namespace blunt::bench

@@ -33,6 +33,36 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  mean_ += delta * nb / (na + nb);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+RunningStats RunningStats::from_moments(std::int64_t count, double sum,
+                                        double min, double max, double mean,
+                                        double m2) {
+  RunningStats s;
+  s.count_ = count;
+  s.sum_ = sum;
+  s.min_ = min;
+  s.max_ = max;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  return s;
+}
+
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double percentile_from_buckets(const std::vector<double>& upper_bounds,

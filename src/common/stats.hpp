@@ -24,9 +24,21 @@ Interval wilson_interval(std::int64_t successes, std::int64_t trials,
 /// Streaming accumulator for Bernoulli outcomes.
 class BernoulliEstimator {
  public:
+  BernoulliEstimator() = default;
+  BernoulliEstimator(std::int64_t successes, std::int64_t trials)
+      : successes_(successes), trials_(trials) {}
+
   void add(bool success) {
     ++trials_;
     if (success) ++successes_;
+  }
+
+  /// Associative, commutative shard merge: tallies are integer sums, so a
+  /// merged estimator agrees EXACTLY with sequential accumulation in any
+  /// grouping or order.
+  void merge(const BernoulliEstimator& other) {
+    successes_ += other.successes_;
+    trials_ += other.trials_;
   }
 
   [[nodiscard]] std::int64_t trials() const { return trials_; }
@@ -52,7 +64,29 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Shard merge via the parallel Welford / Chan et al. update:
+  ///
+  ///   count' = n_a + n_b        sum' = sum_a + sum_b
+  ///   m2'    = m2_a + m2_b + delta^2 * n_a * n_b / (n_a + n_b)
+  ///
+  /// count/sum/min/max merge exactly (sum is a plain double sum, so it is
+  /// bit-exact whenever the samples are exactly representable, e.g. integer
+  /// step counts); mean() stays sum/count and therefore inherits that
+  /// exactness. The second moment matches sequential accumulation up to
+  /// floating-point rounding. Merging in a FIXED fold order (the engine
+  /// folds shards by ascending shard index) makes the result bit-identical
+  /// for every thread count.
+  void merge(const RunningStats& other);
+
+  /// Rebuilds an accumulator from serialized moments (checkpoint resume).
+  /// The moments must come from serialize-able doubles of a previous
+  /// instance; the roundtrip is bit-exact.
+  [[nodiscard]] static RunningStats from_moments(std::int64_t count, double sum,
+                                                 double min, double max,
+                                                 double mean, double m2);
+
   [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }
@@ -61,6 +95,9 @@ class RunningStats {
     return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
   }
   [[nodiscard]] double stddev() const;
+  /// Welford running mean / sum of squared deviations (serialization).
+  [[nodiscard]] double welford_mean() const { return mean_; }
+  [[nodiscard]] double welford_m2() const { return m2_; }
 
  private:
   std::int64_t count_ = 0;

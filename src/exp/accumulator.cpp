@@ -1,0 +1,91 @@
+#include "exp/accumulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/report.hpp"
+
+namespace blunt::exp {
+
+namespace {
+
+const BernoulliEstimator kEmptyTally;
+const RunningStats kEmptyStats;
+
+}  // namespace
+
+const BernoulliEstimator& Accumulator::tally(const std::string& name) const {
+  const auto it = tallies_.find(name);
+  return it == tallies_.end() ? kEmptyTally : it->second;
+}
+
+const RunningStats& Accumulator::stat(const std::string& name) const {
+  const auto it = stats_.find(name);
+  return it == stats_.end() ? kEmptyStats : it->second;
+}
+
+std::int64_t Accumulator::counter_or(const std::string& name,
+                                     std::int64_t fallback) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? fallback : it->second;
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  for (const auto& [name, t] : other.tallies_) tallies_[name].merge(t);
+  for (const auto& [name, s] : other.stats_) stats_[name].merge(s);
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  registry_.merge(other.registry_);
+}
+
+obs::Json Accumulator::to_json() const {
+  obs::JsonObject tallies;
+  for (const auto& [name, t] : tallies_) {
+    obs::JsonObject o;
+    o["successes"] = obs::Json(t.successes());
+    o["trials"] = obs::Json(t.trials());
+    tallies[name] = obs::Json(std::move(o));
+  }
+  obs::JsonObject stats;
+  for (const auto& [name, s] : stats_) {
+    obs::JsonObject o;
+    o["count"] = obs::Json(s.count());
+    o["sum"] = obs::Json(s.sum());
+    o["min"] = obs::Json(s.min());
+    o["max"] = obs::Json(s.max());
+    o["welford_mean"] = obs::Json(s.welford_mean());
+    o["m2"] = obs::Json(s.welford_m2());
+    stats[name] = obs::Json(std::move(o));
+  }
+  obs::JsonObject counters;
+  for (const auto& [name, v] : counters_) counters[name] = obs::Json(v);
+  obs::JsonObject out;
+  out["tallies"] = obs::Json(std::move(tallies));
+  out["stats"] = obs::Json(std::move(stats));
+  out["counters"] = obs::Json(std::move(counters));
+  out["registry"] = obs::snapshot_to_json(registry_);
+  return obs::Json(std::move(out));
+}
+
+Accumulator Accumulator::from_json(const obs::Json& j) {
+  if (!j.is_object()) {
+    throw std::runtime_error("Accumulator::from_json: not an object");
+  }
+  Accumulator a;
+  for (const auto& [name, t] : j.at("tallies").as_object()) {
+    a.tallies_[name] = BernoulliEstimator(t.at("successes").as_int(),
+                                          t.at("trials").as_int());
+  }
+  for (const auto& [name, s] : j.at("stats").as_object()) {
+    a.stats_[name] = RunningStats::from_moments(
+        s.at("count").as_int(), s.at("sum").as_double(),
+        s.at("min").as_double(), s.at("max").as_double(),
+        s.at("welford_mean").as_double(), s.at("m2").as_double());
+  }
+  for (const auto& [name, v] : j.at("counters").as_object()) {
+    a.counters_[name] = v.as_int();
+  }
+  a.registry_ = obs::snapshot_from_json(j.at("registry"));
+  return a;
+}
+
+}  // namespace blunt::exp

@@ -1,0 +1,76 @@
+// Shard-local mergeable accumulator for the experiment engine.
+//
+// Each worker runs its shard's trials against a private Accumulator; after
+// the barrier the engine folds all shard accumulators in ascending shard
+// order. Every component is associative under merge and independent of the
+// order trials ran *within* the fold structure, so the folded result is
+// bit-identical for any --threads value (the shard structure, not the thread
+// count, determines the merge tree):
+//
+//   tallies    — named BernoulliEstimators; integer sums, exactly
+//                associative and commutative;
+//   stats      — named RunningStats; count/sum/min/max exact, second moment
+//                via the parallel Welford / Chan formula;
+//   counters   — named int64 sums, exact;
+//   registry   — an obs::MetricsSnapshot (counters add, histograms
+//                Chan-merge) for trials that run instrumented worlds.
+//
+// The whole accumulator serializes to JSON bit-exactly (doubles dump with
+// shortest-roundtrip precision), which is what makes shard-granular
+// checkpoint/resume sound: a resumed shard contributes the same bits as the
+// run that produced it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace blunt::exp {
+
+class Accumulator {
+ public:
+  /// Named components, created on first use.
+  BernoulliEstimator& tally(const std::string& name) { return tallies_[name]; }
+  RunningStats& stat(const std::string& name) { return stats_[name]; }
+  std::int64_t& counter(const std::string& name) { return counters_[name]; }
+  obs::MetricsSnapshot& registry() { return registry_; }
+
+  // Read side (finalize hooks run on the merged accumulator). Missing names
+  // yield empty/zero components so finalize code never branches on absence.
+  [[nodiscard]] const BernoulliEstimator& tally(const std::string& name) const;
+  [[nodiscard]] const RunningStats& stat(const std::string& name) const;
+  [[nodiscard]] std::int64_t counter_or(const std::string& name,
+                                        std::int64_t fallback = 0) const;
+  [[nodiscard]] const obs::MetricsSnapshot& registry() const {
+    return registry_;
+  }
+  [[nodiscard]] const std::map<std::string, BernoulliEstimator>& tallies()
+      const {
+    return tallies_;
+  }
+  [[nodiscard]] const std::map<std::string, RunningStats>& stats() const {
+    return stats_;
+  }
+  [[nodiscard]] const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+
+  /// Associative shard merge; see the class comment for exactness.
+  void merge(const Accumulator& other);
+
+  /// Bit-exact JSON roundtrip (shard checkpoints).
+  [[nodiscard]] obs::Json to_json() const;
+  [[nodiscard]] static Accumulator from_json(const obs::Json& j);
+
+ private:
+  std::map<std::string, BernoulliEstimator> tallies_;
+  std::map<std::string, RunningStats> stats_;
+  std::map<std::string, std::int64_t> counters_;
+  obs::MetricsSnapshot registry_;
+};
+
+}  // namespace blunt::exp

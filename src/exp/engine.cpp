@@ -1,0 +1,258 @@
+#include "exp/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "obs/json.hpp"
+
+namespace blunt::exp {
+
+namespace {
+
+struct Layout {
+  std::int64_t trials = 0;
+  std::uint64_t seed = 0;
+  int shard_size = 0;
+  std::int64_t num_shards = 0;
+};
+
+[[nodiscard]] Layout make_layout(const Experiment& e, const RunOptions& opts) {
+  Layout l;
+  l.trials = opts.trials >= 0 ? opts.trials : e.default_trials;
+  if (e.resolve_trials) l.trials = e.resolve_trials(opts.trials);
+  BLUNT_ASSERT(l.trials >= 0, "negative trial count");
+  l.seed = opts.has_seed ? opts.seed : e.default_seed;
+  l.shard_size = opts.shard_size > 0 ? opts.shard_size
+                 : e.default_shard_size > 0 ? e.default_shard_size
+                                            : kDefaultShardSize;
+  l.num_shards = (l.trials + l.shard_size - 1) / l.shard_size;
+  return l;
+}
+
+/// One shard, run on whichever worker claimed it. The result depends only on
+/// (experiment, layout, shard index).
+[[nodiscard]] Accumulator run_shard(const Experiment& e, const Layout& l,
+                                    std::int64_t shard) {
+  Accumulator acc;
+  const std::int64_t begin = shard * l.shard_size;
+  const std::int64_t end = std::min(l.trials, begin + l.shard_size);
+  for (std::int64_t i = begin; i < end; ++i) {
+    TrialContext ctx;
+    ctx.trial_index = i;
+    ctx.experiment_seed = l.seed;
+    ctx.trials = l.trials;
+    ctx.seed = derive_seed(e.seed_derivation, l.seed, i);
+    e.trial(ctx, acc);
+  }
+  return acc;
+}
+
+// -- Checkpoint I/O ----------------------------------------------------------
+
+constexpr const char* kShardSchema = "blunt-exp-shard";
+
+[[nodiscard]] obs::Json shard_line(const Experiment& e, const Layout& l,
+                                   std::int64_t shard, const Accumulator& acc) {
+  obs::JsonObject o;
+  o["schema"] = obs::Json(kShardSchema);
+  o["experiment"] = obs::Json(e.name);
+  o["seed"] = obs::Json(static_cast<std::int64_t>(l.seed));
+  o["trials"] = obs::Json(l.trials);
+  o["shard_size"] = obs::Json(l.shard_size);
+  o["shard"] = obs::Json(shard);
+  o["accumulator"] = acc.to_json();
+  return obs::Json(std::move(o));
+}
+
+/// Loads every checkpointed shard matching (experiment, seed, trials,
+/// shard_size); mismatched or corrupted lines are skipped (a stale
+/// checkpoint never poisons a run — its shards simply re-run).
+[[nodiscard]] std::map<std::int64_t, Accumulator> load_checkpoint(
+    const std::string& path, const Experiment& e, const Layout& l) {
+  std::map<std::int64_t, Accumulator> shards;
+  std::ifstream in(path);
+  if (!in) return shards;
+  std::string line;
+  int stale = 0;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      const obs::Json j = obs::Json::parse(line);
+      const obs::Json* schema = j.find("schema");
+      if (schema == nullptr || !schema->is_string() ||
+          schema->as_string() != kShardSchema) {
+        ++stale;
+        continue;
+      }
+      if (j.at("experiment").as_string() != e.name ||
+          static_cast<std::uint64_t>(j.at("seed").as_int()) != l.seed ||
+          j.at("trials").as_int() != l.trials ||
+          j.at("shard_size").as_int() != l.shard_size) {
+        ++stale;
+        continue;
+      }
+      const std::int64_t shard = j.at("shard").as_int();
+      if (shard < 0 || shard >= l.num_shards) {
+        ++stale;
+        continue;
+      }
+      shards[shard] = Accumulator::from_json(j.at("accumulator"));
+    } catch (const std::exception&) {
+      ++stale;  // partial line from an interrupted run: re-run that shard
+    }
+  }
+  if (stale > 0) {
+    std::fprintf(stderr,
+                 "exp: checkpoint %s: skipped %d stale/corrupt line(s)\n",
+                 path.c_str(), stale);
+  }
+  return shards;
+}
+
+struct PassResult {
+  std::vector<Accumulator> shard_accs;  // indexed by shard
+  int shards_executed = 0;
+  bool complete = true;
+  double wall_ms = 0.0;
+};
+
+/// One full pass over the shard space at `threads` workers. `resumed` shards
+/// are folded in without running. When `checkpoint` is non-null, each newly
+/// completed shard is appended through the single mutex-guarded writer.
+[[nodiscard]] PassResult run_pass(
+    const Experiment& e, const Layout& l, int threads,
+    const std::map<std::int64_t, Accumulator>& resumed,
+    std::ofstream* checkpoint, int max_shards) {
+  PassResult pass;
+  pass.shard_accs.resize(static_cast<std::size_t>(l.num_shards));
+  for (const auto& [shard, acc] : resumed) {
+    pass.shard_accs[static_cast<std::size_t>(shard)] = acc;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<std::int64_t> next_shard{0};
+  std::atomic<int> executed{0};
+  std::atomic<bool> stopped{false};
+  std::mutex writer_mu;  // the run's single aggregator-side writer
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::int64_t s = next_shard.fetch_add(1);
+      if (s >= l.num_shards) return;
+      if (resumed.count(s) != 0) continue;
+      if (max_shards > 0) {
+        // Claim an execution slot; give the shard back (well: leave it
+        // un-run) once the chunk budget is spent.
+        int claimed = executed.load();
+        do {
+          if (claimed >= max_shards) {
+            stopped.store(true);
+            return;
+          }
+        } while (!executed.compare_exchange_weak(claimed, claimed + 1));
+      } else {
+        executed.fetch_add(1);
+      }
+      Accumulator acc = run_shard(e, l, s);
+      if (checkpoint != nullptr) {
+        const std::lock_guard<std::mutex> lock(writer_mu);
+        *checkpoint << shard_line(e, l, s, acc).dump() << '\n';
+        checkpoint->flush();
+      }
+      pass.shard_accs[static_cast<std::size_t>(s)] = std::move(acc);
+    }
+  };
+
+  const int workers = static_cast<int>(
+      std::min<std::int64_t>(std::max(1, threads), std::max<std::int64_t>(
+                                                       1, l.num_shards)));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  pass.shards_executed = executed.load();
+  pass.complete = !stopped.load();
+  pass.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  return pass;
+}
+
+/// Post-barrier aggregation: a left fold in ascending shard order — the
+/// fixed merge tree that makes results thread-count-independent.
+[[nodiscard]] Accumulator fold(std::vector<Accumulator> shard_accs) {
+  Accumulator merged;
+  for (const Accumulator& acc : shard_accs) merged.merge(acc);
+  return merged;
+}
+
+}  // namespace
+
+RunOutput run_trials(const Experiment& e, const RunOptions& opts) {
+  BLUNT_ASSERT(e.trial != nullptr || e.default_trials == 0,
+               "experiment " << e.name << " has no trial body");
+  const Layout l = make_layout(e, opts);
+
+  std::map<std::int64_t, Accumulator> resumed;
+  std::ofstream checkpoint_out;
+  if (!opts.checkpoint_path.empty()) {
+    resumed = load_checkpoint(opts.checkpoint_path, e, l);
+    checkpoint_out.open(opts.checkpoint_path, std::ios::app);
+    BLUNT_ASSERT(checkpoint_out.good(),
+                 "cannot open checkpoint " << opts.checkpoint_path);
+  }
+
+  PassResult main_pass = run_pass(
+      e, l, opts.threads, resumed,
+      opts.checkpoint_path.empty() ? nullptr : &checkpoint_out, opts.max_shards);
+
+  RunOutput out;
+  out.info.trials = l.trials;
+  out.info.seed = l.seed;
+  out.info.threads = std::max(1, opts.threads);
+  out.info.shard_size = l.shard_size;
+  out.info.shards_total = static_cast<int>(l.num_shards);
+  out.info.shards_resumed = static_cast<int>(resumed.size());
+  out.info.shards_executed = main_pass.shards_executed;
+  out.info.wall_ms = main_pass.wall_ms;
+  out.info.complete = main_pass.complete;
+  out.merged = fold(std::move(main_pass.shard_accs));
+
+  if (!opts.checkpoint_path.empty()) {
+    checkpoint_out.close();
+    if (main_pass.complete) {
+      // The run is whole; the checkpoint has served its purpose.
+      std::remove(opts.checkpoint_path.c_str());
+    }
+  }
+
+  if (main_pass.complete && !opts.timing_sweep.empty()) {
+    const std::string want = out.merged.to_json().dump();
+    for (const int t : opts.timing_sweep) {
+      PassResult sweep = run_pass(e, l, t, {}, nullptr, 0);
+      out.info.sweep_wall_ms.emplace_back(std::max(1, t), sweep.wall_ms);
+      // Built-in determinism self-check: every thread count must produce
+      // the same merged bits.
+      const std::string got = fold(std::move(sweep.shard_accs)).to_json().dump();
+      BLUNT_ASSERT(got == want, "timing sweep at " << t << " threads diverged "
+                                << "from the main pass — determinism bug");
+    }
+  }
+
+  return out;
+}
+
+}  // namespace blunt::exp

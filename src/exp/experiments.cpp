@@ -1,0 +1,24 @@
+#include "exp/experiment.hpp"
+
+namespace blunt::exp {
+
+// Factories defined in the exp_*.cpp files.
+Experiment make_theorem42_bound_experiment();
+Experiment make_abd_k_sweep_experiment();
+Experiment make_chaos_soak_experiment();
+Experiment make_equivalence_soak_experiment();
+Experiment make_snapshot_blunting_experiment();
+
+void register_builtin_experiments() {
+  static const bool once = [] {
+    register_experiment(make_theorem42_bound_experiment());
+    register_experiment(make_abd_k_sweep_experiment());
+    register_experiment(make_chaos_soak_experiment());
+    register_experiment(make_equivalence_soak_experiment());
+    register_experiment(make_snapshot_blunting_experiment());
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace blunt::exp

@@ -1,0 +1,34 @@
+#include "exp/experiment.hpp"
+
+#include <map>
+#include <utility>
+
+namespace blunt::exp {
+
+namespace {
+
+std::map<std::string, Experiment>& registry() {
+  static std::map<std::string, Experiment> r;
+  return r;
+}
+
+}  // namespace
+
+void register_experiment(Experiment e) {
+  std::string name = e.name;
+  registry()[std::move(name)] = std::move(e);
+}
+
+const Experiment* find_experiment(const std::string& name) {
+  const auto it = registry().find(name);
+  return it == registry().end() ? nullptr : &it->second;
+}
+
+std::vector<const Experiment*> list_experiments() {
+  std::vector<const Experiment*> out;
+  out.reserve(registry().size());
+  for (const auto& [_, e] : registry()) out.push_back(&e);
+  return out;
+}
+
+}  // namespace blunt::exp

@@ -1,0 +1,67 @@
+#include "exp/runner.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exp/workloads.hpp"
+#include "obs/report.hpp"
+
+namespace blunt::exp {
+
+int run_and_report(const Experiment& e, const RunOptions& opts) {
+  const RunOutput out = run_trials(e, opts);
+
+  if (!out.info.complete) {
+    std::printf(
+        "%s: shard budget reached — %d/%d shards done (%d this run, %d "
+        "resumed); rerun with the same --checkpoint to continue\n",
+        e.name.c_str(), out.info.shards_resumed + out.info.shards_executed,
+        out.info.shards_total, out.info.shards_executed,
+        out.info.shards_resumed);
+    return 0;
+  }
+
+  obs::BenchReport report(e.name);
+  int rc = 0;
+  if (e.finalize) rc = e.finalize(report, out.merged, out.info);
+
+  report.set_environment_int("engine_threads", out.info.threads);
+  report.set_environment_int("engine_shard_size", out.info.shard_size);
+  report.set_environment_int("engine_trials", out.info.trials);
+  report.set_environment_int("engine_seed",
+                             static_cast<std::int64_t>(out.info.seed));
+  report.set_environment_int("engine_shards_total", out.info.shards_total);
+  report.set_environment_int("engine_shards_resumed", out.info.shards_resumed);
+  report.set_environment_int("engine_shards_executed",
+                             out.info.shards_executed);
+  report.add_timing_ms("engine_trials", out.info.wall_ms);
+  for (const auto& [threads, ms] : out.info.sweep_wall_ms) {
+    report.add_timing_ms("engine_trials_t" + std::to_string(threads), ms);
+  }
+
+  write_report(report);
+  return rc;
+}
+
+int run_registered(const std::string& name, const RunOptions& opts) {
+  register_builtin_experiments();
+  const Experiment* e = find_experiment(name);
+  if (e == nullptr) {
+    std::fprintf(stderr, "unknown experiment '%s' (try --list)\n",
+                 name.c_str());
+    return 2;
+  }
+  return run_and_report(*e, opts);
+}
+
+int run_experiment_main(const std::string& name) {
+  RunOptions opts;
+  if (const char* env = std::getenv("BLUNT_EXP_THREADS")) {
+    const int t = std::atoi(env);
+    if (t > 0) opts.threads = t;
+  }
+  return run_registered(name, opts);
+}
+
+}  // namespace blunt::exp

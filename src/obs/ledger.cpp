@@ -2,9 +2,12 @@
 
 #include "obs/report.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -113,11 +116,43 @@ LedgerEntry entry_from_json(const Json& j) {
 }
 
 void append_entry(const std::string& path, const LedgerEntry& e) {
-  std::ofstream out(path, std::ios::app);
-  if (!out) throw std::runtime_error("ledger: cannot open " + path);
-  out << entry_to_json(e).dump() << '\n';
-  out.flush();
-  if (!out) throw std::runtime_error("ledger: write failed for " + path);
+  // Torn-line hazard: concurrent appenders (parallel benches, engine shards,
+  // CI jobs sharing a ledger) must never interleave mid-line, or the loader
+  // silently skips both halves. Two defenses, together:
+  //   1. O_APPEND + ONE write() of the whole line. POSIX makes the
+  //      seek+write atomic, so on local filesystems the line lands
+  //      contiguously whenever the kernel completes it in one go.
+  //   2. An advisory flock() around the write, covering the cases O_APPEND
+  //      alone does not guarantee (short writes, NFS): concurrent
+  //      append_entry callers serialize, and a short write is retried while
+  //      still holding the lock, keeping the line contiguous.
+  // The experiment engine additionally routes all of a run's shard results
+  // through a single aggregator-side append, so engine parallelism never
+  // multiplies writers in the first place.
+  const std::string line = entry_to_json(e).dump() + "\n";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                        0644);
+  if (fd < 0) throw std::runtime_error("ledger: cannot open " + path);
+  // Best-effort advisory lock: a filesystem refusing flock (ENOTSUP) still
+  // gets the O_APPEND single-write behavior.
+  const bool locked = ::flock(fd, LOCK_EX) == 0;
+  const char* p = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (locked) ::flock(fd, LOCK_UN);
+      ::close(fd);
+      throw std::runtime_error("ledger: write failed for " + path);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (locked) ::flock(fd, LOCK_UN);
+  if (::close(fd) != 0) {
+    throw std::runtime_error("ledger: close failed for " + path);
+  }
 }
 
 std::string default_ledger_path() {
@@ -178,6 +213,7 @@ const Json* resolve_metric_path(const Json& report, const std::string& path) {
       {"registry.gauges.", "registry", "gauges"},
       {"metrics.", "metrics", nullptr},
       {"timings_ms.", "timings_ms", nullptr},
+      {"environment.", "environment", nullptr},
   };
   for (const Prefix& p : kPrefixes) {
     const std::string prefix(p.prefix);

@@ -112,7 +112,29 @@ struct MetricsSnapshot {
     double stddev = 0.0;
     double min = 0.0;
     double max = 0.0;
+    // Raw moments (sum, Welford running mean, sum of squared deviations):
+    // what makes two snapshots mergeable without reconstruction error. The
+    // derived mean/stddev above are what reports serialize for humans.
+    double sum = 0.0;
+    double welford_mean = 0.0;
+    double m2 = 0.0;
     Percentiles percentiles;
+
+    [[nodiscard]] RunningStats to_stats() const {
+      return RunningStats::from_moments(count, sum, min, max, welford_mean,
+                                        m2);
+    }
+    void refresh_from(const RunningStats& s) {
+      count = s.count();
+      mean = s.mean();
+      stddev = s.stddev();
+      min = s.min();
+      max = s.max();
+      sum = s.sum();
+      welford_mean = s.welford_mean();
+      m2 = s.welford_m2();
+      percentiles = percentiles_from_buckets(upper_bounds, counts);
+    }
   };
 
   std::map<std::string, std::int64_t> counters;
@@ -123,6 +145,32 @@ struct MetricsSnapshot {
                                         std::int64_t fallback) const {
     const auto it = counters.find(name);
     return it == counters.end() ? fallback : it->second;
+  }
+
+  /// Shard merge (the experiment engine's aggregation step): counters add,
+  /// gauges are last-write-wins (`other` wins), histograms with identical
+  /// bucket bounds add their counts and Chan-merge their moments; a
+  /// histogram whose bounds differ replaces the existing one wholesale.
+  /// Deterministic given a fixed merge order — the engine folds shards by
+  /// ascending shard index, so results are thread-count-independent.
+  void merge(const MetricsSnapshot& other) {
+    for (const auto& [name, v] : other.counters) counters[name] += v;
+    for (const auto& [name, v] : other.gauges) gauges[name] = v;
+    for (const auto& [name, h] : other.histograms) {
+      auto it = histograms.find(name);
+      if (it == histograms.end() ||
+          it->second.upper_bounds != h.upper_bounds) {
+        histograms[name] = h;
+        continue;
+      }
+      HistogramData& mine = it->second;
+      for (std::size_t i = 0; i < mine.counts.size(); ++i) {
+        mine.counts[i] += h.counts[i];
+      }
+      RunningStats merged = mine.to_stats();
+      merged.merge(h.to_stats());
+      mine.refresh_from(merged);
+    }
   }
 };
 
@@ -168,6 +216,9 @@ class MetricsRegistry {
       d.stddev = h->stats().stddev();
       d.min = h->stats().min();
       d.max = h->stats().max();
+      d.sum = h->stats().sum();
+      d.welford_mean = h->stats().welford_mean();
+      d.m2 = h->stats().welford_m2();
       d.percentiles = h->percentiles();
       s.histograms[name] = std::move(d);
     }

@@ -28,6 +28,11 @@ namespace blunt::obs {
 /// Registry snapshot -> the report's "registry" JSON section.
 [[nodiscard]] Json snapshot_to_json(const MetricsSnapshot& s);
 
+/// Inverse of snapshot_to_json (bit-exact roundtrip — histogram JSON carries
+/// the raw moments). Used by the experiment engine's shard checkpoints.
+/// Throws std::runtime_error on shape violations.
+[[nodiscard]] MetricsSnapshot snapshot_from_json(const Json& j);
+
 class BenchReport {
  public:
   /// `name` must match the binary: bench_<name> emits BENCH_<name>.json.
@@ -46,9 +51,10 @@ class BenchReport {
   /// Records one named wall-clock phase in milliseconds.
   void add_timing_ms(const std::string& label, double ms);
 
-  /// Merges a registry snapshot into the "registry" section. Counters add
-  /// up and histograms/gauges overwrite by name, so a bench may merge the
-  /// snapshots of several instrumented worlds.
+  /// Merges a registry snapshot into the "registry" section
+  /// (MetricsSnapshot::merge): counters and same-shape histograms add up,
+  /// gauges overwrite by name, so a bench may merge the snapshots of several
+  /// instrumented worlds.
   void merge_registry(const MetricsSnapshot& s);
 
   /// Free-form provenance ("environment" section).

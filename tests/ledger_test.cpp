@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "obs/report.hpp"
@@ -87,6 +89,36 @@ TEST(Ledger, CorruptedLinesAreSkippedAndCounted) {
   ASSERT_EQ(ledger.entries.size(), 2u);  // the good lines survive
   EXPECT_EQ(ledger.skipped_lines, 3);    // blank line not counted
   EXPECT_EQ(ledger.entries[1].stamp.git_sha, "bbb");
+}
+
+TEST(Ledger, ConcurrentAppendsNeverTearLines) {
+  // 8 threads x 50 appends hammering one file. The single-write()-under-
+  // flock append means every line must load back whole: 400 entries, zero
+  // skipped. (Before the O_APPEND rewrite, iostream appends could interleave
+  // mid-line under exactly this workload.)
+  TempFile f("concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kAppendsPerThread = 50;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&f, t] {
+      for (int i = 0; i < kAppendsPerThread; ++i) {
+        // Distinct payloads so a torn line cannot masquerade as a valid one.
+        append_entry(f.path(),
+                     {stamp("sha_" + std::to_string(t), t * 1000 + i),
+                      make_report("bench_" + std::to_string(t),
+                                  static_cast<double>(i) / kAppendsPerThread,
+                                  1.0 + i)});
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  const Ledger ledger = load_ledger(f.path());
+  EXPECT_EQ(ledger.entries.size(),
+            static_cast<std::size_t>(kThreads * kAppendsPerThread));
+  EXPECT_EQ(ledger.skipped_lines, 0);
 }
 
 TEST(Ledger, EntryValidationRejectsBadShapes) {

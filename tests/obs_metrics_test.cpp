@@ -83,6 +83,104 @@ TEST(MetricsRegistry, SnapshotDecouplesFromRegistry) {
   EXPECT_EQ(s.counter_or("missing", -1), -1);
 }
 
+TEST(MetricsSnapshot, MergeAddsCountersAndChanMergesHistograms) {
+  MetricsRegistry a;
+  a.counter("c")->inc(3);
+  a.gauge("g")->set(1.0);
+  a.histogram("h", {1.0, 2.0, 4.0})->observe(0.5);
+  a.histogram("h")->observe(3.0);
+
+  MetricsRegistry b;
+  b.counter("c")->inc(4);
+  b.counter("only_b")->inc(1);
+  b.gauge("g")->set(9.0);
+  b.histogram("h", {1.0, 2.0, 4.0})->observe(1.5);
+  b.histogram("h")->observe(100.0);  // overflow bucket
+
+  // Sequential reference: one histogram fed all four samples in order.
+  MetricsRegistry seq;
+  seq.histogram("h", {1.0, 2.0, 4.0})->observe(0.5);
+  seq.histogram("h")->observe(3.0);
+  seq.histogram("h")->observe(1.5);
+  seq.histogram("h")->observe(100.0);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counters.at("c"), 7);
+  EXPECT_EQ(merged.counters.at("only_b"), 1);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), 9.0);  // other wins
+
+  const MetricsSnapshot seq_snap = seq.snapshot();
+  const MetricsSnapshot::HistogramData& h = merged.histograms.at("h");
+  const MetricsSnapshot::HistogramData& ref = seq_snap.histograms.at("h");
+  EXPECT_EQ(h.counts, ref.counts);
+  EXPECT_EQ(h.count, ref.count);
+  EXPECT_DOUBLE_EQ(h.sum, ref.sum);
+  EXPECT_DOUBLE_EQ(h.min, ref.min);
+  EXPECT_DOUBLE_EQ(h.max, ref.max);
+  EXPECT_NEAR(h.m2, ref.m2, 1e-9 * (1.0 + ref.m2));
+  EXPECT_DOUBLE_EQ(h.percentiles.p50, ref.percentiles.p50);
+}
+
+TEST(MetricsSnapshot, MergeReplacesHistogramWithDifferentBounds) {
+  MetricsRegistry a;
+  a.histogram("h", {1.0, 2.0})->observe(0.5);
+  MetricsRegistry b;
+  b.histogram("h", {10.0, 20.0})->observe(15.0);
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.histograms.at("h").upper_bounds,
+            (std::vector<double>{10.0, 20.0}));
+  EXPECT_EQ(merged.histograms.at("h").count, 1);
+}
+
+TEST(MetricsSnapshot, JsonRoundTripIsBitExact) {
+  MetricsRegistry reg;
+  reg.counter("net.messages_sent")->inc(42);
+  reg.gauge("g")->set(0.1 + 0.2);  // not exactly representable as 0.3
+  reg.histogram("h")->observe(3.0);
+  reg.histogram("h")->observe(17.5);
+  const MetricsSnapshot s = reg.snapshot();
+
+  const Json j = snapshot_to_json(s);
+  const MetricsSnapshot r = snapshot_from_json(j);
+  EXPECT_EQ(r.counters, s.counters);
+  EXPECT_EQ(r.gauges, s.gauges);
+  ASSERT_EQ(r.histograms.size(), 1u);
+  const auto& hr = r.histograms.at("h");
+  const auto& hs = s.histograms.at("h");
+  EXPECT_EQ(hr.counts, hs.counts);
+  EXPECT_EQ(hr.upper_bounds, hs.upper_bounds);
+  EXPECT_EQ(hr.count, hs.count);
+  // Bit-exact double fields: the engine's checkpoint/resume depends on it.
+  EXPECT_EQ(hr.sum, hs.sum);
+  EXPECT_EQ(hr.welford_mean, hs.welford_mean);
+  EXPECT_EQ(hr.m2, hs.m2);
+  EXPECT_EQ(hr.mean, hs.mean);
+  EXPECT_EQ(hr.stddev, hs.stddev);
+  // And the roundtrip is a fixed point of serialization.
+  EXPECT_EQ(snapshot_to_json(r).dump(), j.dump());
+}
+
+TEST(MetricsSnapshot, FromJsonRejectsBadShapes) {
+  // Missing sections are tolerated (empty snapshot), but malformed
+  // histograms are not — a checkpoint with a truncated histogram must fail
+  // loudly rather than resume with corrupted moments.
+  EXPECT_THROW((void)snapshot_from_json(Json(1)), std::runtime_error);
+  JsonObject histos;
+  histos["h"] = Json(1);  // histogram entry that is not an object
+  JsonObject o;
+  o["histograms"] = Json(histos);
+  EXPECT_THROW((void)snapshot_from_json(Json(o)), std::runtime_error);
+  // A histogram object missing required moment fields.
+  JsonObject partial;
+  partial["upper_bounds"] = Json(JsonArray{});
+  partial["counts"] = Json(JsonArray{Json(std::int64_t{0})});
+  histos["h"] = Json(partial);
+  o["histograms"] = Json(histos);
+  EXPECT_THROW((void)snapshot_from_json(Json(o)), std::runtime_error);
+}
+
 TEST(BenchReport, ToJsonHasAllSectionsAndValidates) {
   BenchReport r("unit_test");
   r.set_metric("bad_probability", 0.625);

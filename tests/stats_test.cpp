@@ -90,6 +90,143 @@ TEST(RunningStats, WelfordMatchesDirectComputation) {
   EXPECT_NEAR(s.variance(), var, 1e-9);
 }
 
+TEST(BernoulliEstimator, MergeIsExactAndAssociative) {
+  // Integer tallies: any grouping or order of merges agrees exactly with
+  // sequential accumulation. (This is what lets the engine pool per-seed
+  // tallies in finalize regardless of which shard ran which trial.)
+  BernoulliEstimator seq;
+  BernoulliEstimator a;
+  BernoulliEstimator b;
+  BernoulliEstimator c;
+  for (int i = 0; i < 100; ++i) {
+    const bool hit = i % 3 == 0;
+    seq.add(hit);
+    (i < 30 ? a : i < 71 ? b : c).add(hit);
+  }
+  // (a + b) + c
+  BernoulliEstimator left = a;
+  left.merge(b);
+  left.merge(c);
+  // a + (b + c)
+  BernoulliEstimator right = b;
+  right.merge(c);
+  BernoulliEstimator right2 = a;
+  right2.merge(right);
+  EXPECT_EQ(left.successes(), seq.successes());
+  EXPECT_EQ(left.trials(), seq.trials());
+  EXPECT_EQ(right2.successes(), seq.successes());
+  EXPECT_EQ(right2.trials(), seq.trials());
+  // Commutes too: c + b + a.
+  BernoulliEstimator rev = c;
+  rev.merge(b);
+  rev.merge(a);
+  EXPECT_EQ(rev.successes(), seq.successes());
+  EXPECT_EQ(rev.trials(), seq.trials());
+}
+
+TEST(BernoulliEstimator, MergeFromCountsConstructor) {
+  BernoulliEstimator est(3, 10);
+  est.merge(BernoulliEstimator(2, 5));
+  EXPECT_EQ(est.successes(), 5);
+  EXPECT_EQ(est.trials(), 15);
+  EXPECT_DOUBLE_EQ(est.mean(), 5.0 / 15.0);
+}
+
+TEST(RunningStats, MergeAgreesWithSequentialAccumulation) {
+  // Parallel Welford (Chan et al.): count/sum/min/max/mean are exact for
+  // integer-valued samples; the second moment matches sequential Welford to
+  // floating-point rounding.
+  RunningStats seq;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = static_cast<double>((i * 37) % 101);
+    seq.add(x);
+    (i < 400 ? a : b).add(x);
+  }
+  RunningStats merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), seq.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), seq.sum());
+  EXPECT_DOUBLE_EQ(merged.mean(), seq.mean());
+  EXPECT_DOUBLE_EQ(merged.min(), seq.min());
+  EXPECT_DOUBLE_EQ(merged.max(), seq.max());
+  EXPECT_NEAR(merged.variance(), seq.variance(),
+              1e-9 * (1.0 + seq.variance()));
+  EXPECT_NEAR(merged.stddev(), seq.stddev(), 1e-9 * (1.0 + seq.stddev()));
+}
+
+TEST(RunningStats, MergeIsAssociativeBitForBit) {
+  // The engine folds shards in a FIXED ascending order, so what determinism
+  // needs is: the same fold tree over the same shard stats gives the same
+  // bits every time, and regrouping stays within rounding of sequential.
+  // Check exact associativity of the fold result for a left fold repeated
+  // twice, and near-equality across groupings.
+  RunningStats s1;
+  RunningStats s2;
+  RunningStats s3;
+  for (int i = 0; i < 50; ++i) s1.add(0.1 * i);
+  for (int i = 0; i < 70; ++i) s2.add(3.0 - 0.2 * i);
+  for (int i = 0; i < 30; ++i) s3.add(1e6 + i);
+
+  const auto fold = [](const RunningStats& x, const RunningStats& y,
+                       const RunningStats& z) {
+    RunningStats m = x;
+    m.merge(y);
+    m.merge(z);
+    return m;
+  };
+  const RunningStats left1 = fold(s1, s2, s3);
+  const RunningStats left2 = fold(s1, s2, s3);
+  // Same fold order -> bit-identical (what thread-count independence needs).
+  EXPECT_EQ(left1.welford_m2(), left2.welford_m2());
+  EXPECT_EQ(left1.welford_mean(), left2.welford_mean());
+  EXPECT_EQ(left1.sum(), left2.sum());
+
+  // Regrouped fold: exact in the exact fields, rounding-close in m2.
+  RunningStats right = s2;
+  right.merge(s3);
+  RunningStats regrouped = s1;
+  regrouped.merge(right);
+  EXPECT_EQ(regrouped.count(), left1.count());
+  EXPECT_DOUBLE_EQ(regrouped.sum(), left1.sum());
+  EXPECT_DOUBLE_EQ(regrouped.min(), left1.min());
+  EXPECT_DOUBLE_EQ(regrouped.max(), left1.max());
+  EXPECT_NEAR(regrouped.welford_m2(), left1.welford_m2(),
+              1e-6 * (1.0 + left1.welford_m2()));
+}
+
+TEST(RunningStats, MergeWithEmptySidesIsIdentity) {
+  RunningStats s;
+  s.add(2.0);
+  s.add(4.0);
+  RunningStats empty;
+  RunningStats a = s;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.welford_m2(), s.welford_m2());
+  RunningStats b = empty;
+  b.merge(s);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(b.min(), 2.0);
+  EXPECT_DOUBLE_EQ(b.max(), 4.0);
+}
+
+TEST(RunningStats, FromMomentsRoundTripsBitForBit) {
+  RunningStats s;
+  for (int i = 0; i < 17; ++i) s.add(0.3 * i - 1.7);
+  const RunningStats r = RunningStats::from_moments(
+      s.count(), s.sum(), s.min(), s.max(), s.welford_mean(), s.welford_m2());
+  EXPECT_EQ(r.count(), s.count());
+  EXPECT_EQ(r.sum(), s.sum());
+  EXPECT_EQ(r.min(), s.min());
+  EXPECT_EQ(r.max(), s.max());
+  EXPECT_EQ(r.welford_mean(), s.welford_mean());
+  EXPECT_EQ(r.welford_m2(), s.welford_m2());
+}
+
 TEST(PercentileFromBuckets, InterpolatesWithinBucket) {
   // Bounds {10, 20, 30} + overflow; 10 observations uniformly in (0, 10].
   const std::vector<double> bounds = {10.0, 20.0, 30.0};

@@ -202,6 +202,41 @@ void usage(const char* argv0) {
   return buf;
 }
 
+/// One-line engine provenance for reports produced by the experiment engine
+/// (blunt_exp or the thin bench mains): thread count, shard structure, and
+/// resume accounting. Empty for pre-engine reports, so both renderers degrade
+/// gracefully on old ledger entries.
+[[nodiscard]] std::string engine_provenance(const Json& report) {
+  const Json* threads =
+      obs::resolve_metric_path(report, "environment.engine_threads");
+  if (threads == nullptr) return "";
+  std::string out = "engine: " + std::to_string(threads->as_int()) + " thread" +
+                    (threads->as_int() == 1 ? "" : "s");
+  if (const Json* v =
+          obs::resolve_metric_path(report, "environment.engine_trials")) {
+    out += ", " + std::to_string(v->as_int()) + " trials";
+  }
+  if (const Json* v =
+          obs::resolve_metric_path(report, "environment.engine_shard_size")) {
+    out += ", shard size " + std::to_string(v->as_int());
+  }
+  if (const Json* v =
+          obs::resolve_metric_path(report, "environment.engine_seed")) {
+    out += ", seed " + std::to_string(v->as_int());
+  }
+  const Json* total =
+      obs::resolve_metric_path(report, "environment.engine_shards_total");
+  const Json* resumed =
+      obs::resolve_metric_path(report, "environment.engine_shards_resumed");
+  if (total != nullptr) {
+    out += ", " + std::to_string(total->as_int()) + " shards";
+    if (resumed != nullptr && resumed->as_int() > 0) {
+      out += " (" + std::to_string(resumed->as_int()) + " resumed)";
+    }
+  }
+  return out;
+}
+
 /// Inline SVG sparkline over a ledger series; the last point is emphasized
 /// and the whole polyline carries a tooltip of sha -> value pairs.
 [[nodiscard]] std::string sparkline_svg(
@@ -317,6 +352,8 @@ std::string build_markdown(const std::vector<BenchState>& benches,
          << iso_utc(b.baseline_stamp->timestamp_unix_s) << ", host "
          << b.baseline_stamp->hostname << ")";
     }
+    const std::string prov = engine_provenance(b.current);
+    if (!prov.empty()) md << " — " << prov;
     md << "\n";
   }
   md << "\n";
@@ -393,7 +430,12 @@ std::string build_html(const std::vector<BenchState>& benches,
 
   // Per-bench sparklines across ledger entries (i.e. across commits).
   for (const auto& b : benches) {
-    html << "<h2>" << html_escape(b.name) << "</h2>\n<table><tr>"
+    html << "<h2>" << html_escape(b.name) << "</h2>\n";
+    const std::string prov = engine_provenance(b.current);
+    if (!prov.empty()) {
+      html << "<p class=\"neutral\">" << html_escape(prov) << "</p>\n";
+    }
+    html << "<table><tr>"
             "<th>metric</th><th>current</th><th>across commits</th></tr>\n";
     std::vector<std::string> paths;
     if (const Json* m = b.current.find("metrics"); m && m->is_object()) {
@@ -408,6 +450,7 @@ std::string build_html(const std::vector<BenchState>& benches,
       }
     }
     paths.push_back("timings_ms.total");
+    paths.push_back("timings_ms.engine_trials");
     for (const std::string& path : paths) {
       const Json* v = obs::resolve_metric_path(b.current, path);
       if (v == nullptr) continue;
