@@ -7,7 +7,7 @@
 namespace blunt::adversary {
 
 EventDescriptor describe(const sim::Event& e) {
-  return {e.kind, e.pid, e.source_id, e.what};
+  return {e.kind, e.pid, e.source_id, std::string(e.what)};
 }
 
 bool matches(const EventDescriptor& d, const sim::Event& e) {

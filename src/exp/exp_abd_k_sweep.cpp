@@ -67,7 +67,9 @@ void trial(const TrialContext& ctx, Accumulator& acc) {
   const std::uint64_t t =
       static_cast<std::uint64_t>(ctx.trial_index % kTrialsPerSeed);
 
-  adversary::McInstance inst = make_abd_weakener(s * 1000003 + t, k);
+  adversary::McInstance inst =
+      make_abd_weakener(s * 1000003 + t, k, kWeakenerNumProcesses,
+                        /*metrics=*/false, sim::TraceDetail::kNone);
   sim::UniformAdversary adv(s);
   const sim::RunResult res = inst.world->run(adv);
   BLUNT_ASSERT(res.status == sim::RunStatus::kCompleted,

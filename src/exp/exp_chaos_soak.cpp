@@ -105,11 +105,13 @@ struct AbdChaosWorld {
 /// recorded schedules replayable.
 AbdChaosWorld make_abd_chaos(std::uint64_t coin_seed,
                              const fault::FaultPlan& plan, int k,
-                             objects::AbdBug bug, bool metrics) {
+                             objects::AbdBug bug, bool metrics,
+                             sim::TraceDetail detail = sim::TraceDetail::kFull) {
   AbdChaosWorld cw;
   cw.world = std::make_unique<sim::World>(
       sim::Config{.max_crashes = static_cast<int>(plan.crashes.size()),
-                  .metrics = metrics},
+                  .metrics = metrics,
+                  .trace_detail = detail},
       std::make_unique<sim::SeededCoin>(coin_seed));
   cw.reg = std::make_unique<objects::AbdRegister>(
       "R", *cw.world,
@@ -156,8 +158,12 @@ bool lin_ok(const sim::World& w) {
 void abd_trial(std::uint64_t seed, int k, ChaosTotals& t) {
   const fault::FaultPlan plan = fault::random_plan(
       fault::mix64(seed * 2 + static_cast<std::uint64_t>(k)), {});
+  // The soak never reads the trace (lin_ok works off the invocation
+  // table), so trials run at kNone; the shrink demo below replays against
+  // event whats and keeps the default kFull.
   AbdChaosWorld cw = make_abd_chaos(seed, plan, k, objects::AbdBug::kNone,
-                                    /*metrics=*/false);
+                                    /*metrics=*/false,
+                                    sim::TraceDetail::kNone);
   sim::UniformAdversary uniform(fault::mix64(seed) * 7 + 3);
   fault::ChaosAdversary adv(uniform, cw.injector->plan(), cw.injector.get());
   const sim::RunResult res = cw.world->run(adv);
@@ -198,7 +204,8 @@ fault::FaultPlan crash_only_plan(std::uint64_t seed, int num_processes) {
 void vitanyi_trial(std::uint64_t seed, int k, ChaosTotals& t) {
   const fault::FaultPlan plan = crash_only_plan(fault::mix64(seed * 2 + 1), 3);
   auto w = std::make_unique<sim::World>(
-      sim::Config{.max_crashes = static_cast<int>(plan.crashes.size())},
+      sim::Config{.max_crashes = static_cast<int>(plan.crashes.size()),
+                  .trace_detail = sim::TraceDetail::kNone},
       std::make_unique<sim::SeededCoin>(seed));
   objects::VitanyiRegister reg("R", *w,
                                {.num_processes = 3, .preamble_iterations = k});
@@ -222,7 +229,8 @@ void vitanyi_trial(std::uint64_t seed, int k, ChaosTotals& t) {
 void israeli_li_trial(std::uint64_t seed, int k, ChaosTotals& t) {
   const fault::FaultPlan plan = crash_only_plan(fault::mix64(seed * 2 + 5), 3);
   auto w = std::make_unique<sim::World>(
-      sim::Config{.max_crashes = static_cast<int>(plan.crashes.size())},
+      sim::Config{.max_crashes = static_cast<int>(plan.crashes.size()),
+                  .trace_detail = sim::TraceDetail::kNone},
       std::make_unique<sim::SeededCoin>(seed));
   objects::IsraeliLiRegister reg(
       "R", *w, {.num_readers = 2, .writer = 2, .preamble_iterations = k});

@@ -36,7 +36,8 @@ using Soak = std::function<bool(std::uint64_t seed, int k)>;  // true = lin ok
 
 bool abd_mw(std::uint64_t seed, int k) {
   auto w = std::make_unique<sim::World>(
-      sim::Config{}, std::make_unique<sim::SeededCoin>(seed));
+      sim::Config{.trace_detail = sim::TraceDetail::kNone},
+      std::make_unique<sim::SeededCoin>(seed));
   objects::AbdRegister reg("R", *w,
                            {.num_processes = 3, .preamble_iterations = k});
   for (Pid pid = 0; pid < 3; ++pid) {
@@ -57,7 +58,8 @@ bool abd_mw(std::uint64_t seed, int k) {
 
 bool abd_sw(std::uint64_t seed, int k) {
   auto w = std::make_unique<sim::World>(
-      sim::Config{}, std::make_unique<sim::SeededCoin>(seed));
+      sim::Config{.trace_detail = sim::TraceDetail::kNone},
+      std::make_unique<sim::SeededCoin>(seed));
   objects::AbdRegister reg("R", *w,
                            {.num_processes = 3,
                             .preamble_iterations = k,
@@ -83,7 +85,8 @@ bool abd_sw(std::uint64_t seed, int k) {
 
 bool snapshot(std::uint64_t seed, int k) {
   auto w = std::make_unique<sim::World>(
-      sim::Config{}, std::make_unique<sim::SeededCoin>(seed));
+      sim::Config{.trace_detail = sim::TraceDetail::kNone},
+      std::make_unique<sim::SeededCoin>(seed));
   objects::AfekSnapshot snap("S", *w,
                              {.num_processes = 3, .preamble_iterations = k});
   for (Pid pid = 0; pid < 2; ++pid) {
@@ -106,7 +109,8 @@ bool snapshot(std::uint64_t seed, int k) {
 
 bool vitanyi(std::uint64_t seed, int k) {
   auto w = std::make_unique<sim::World>(
-      sim::Config{}, std::make_unique<sim::SeededCoin>(seed));
+      sim::Config{.trace_detail = sim::TraceDetail::kNone},
+      std::make_unique<sim::SeededCoin>(seed));
   objects::VitanyiRegister reg("R", *w,
                                {.num_processes = 3,
                                 .preamble_iterations = k});
@@ -127,7 +131,8 @@ bool vitanyi(std::uint64_t seed, int k) {
 
 bool israeli_li(std::uint64_t seed, int k) {
   auto w = std::make_unique<sim::World>(
-      sim::Config{}, std::make_unique<sim::SeededCoin>(seed));
+      sim::Config{.trace_detail = sim::TraceDetail::kNone},
+      std::make_unique<sim::SeededCoin>(seed));
   objects::IsraeliLiRegister reg(
       "R", *w,
       {.num_readers = 2, .writer = 2, .preamble_iterations = k});

@@ -1,0 +1,239 @@
+// Hotpath: the kernel-throughput experiment guarding the zero-allocation
+// scheduler refactor and the bitmask-memoized Wing–Gong checker.
+//
+// Two timed workloads, both serial, both with a fixed deterministic amount
+// of work so that "faster" is observable as wall clock alone:
+//
+//   * scheduler steps/sec — the weakener over ABD^k (k = 1 and k = 2) under
+//     a uniformly random scheduler at TraceDetail::kNone, the configuration
+//     every Monte-Carlo trial body runs in. The exact total step count of
+//     the timed loop is a bit-identity invariant and is reported as an
+//     exact (regression-gated) metric.
+//   * lin-checks/sec — the Wing–Gong checker over a fixed set of ABD
+//     histories (3 processes x {2,3} ops/process x 4 coin seeds), the shape
+//     the chaos soak feeds it. Every check must come back linearizable.
+//
+// Wall clocks and derived throughputs go to timings_ms, which the report
+// comparator treats as advisory (cross-host baselines drift); CI's Release
+// job computes the speedup ratio against the committed seed-kernel baseline
+// in bench/baselines/BENCH_hotpath.json and hard-gates on it.
+//
+// The trial phase is a parallel Monte-Carlo over the same weakener worlds:
+// its merged counters are a pure function of the trial space, so
+// `--timing-sweep` doubles as the proof that merged results are
+// bit-identical across thread counts.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "exp/experiment.hpp"
+#include "exp/workloads.hpp"
+#include "lin/check.hpp"
+#include "lin/history.hpp"
+#include "objects/abd.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/coin.hpp"
+
+namespace blunt::exp {
+namespace {
+
+// Timed-loop sizes. Fixed — the step totals below are part of the report's
+// exact metrics, so changing these invalidates the committed baseline.
+constexpr int kStepRunsK1 = 3000;
+constexpr int kStepRunsK2 = 1500;
+constexpr int kLinIterations = 400;
+
+double now_ms() {
+  using namespace std::chrono;
+  return duration<double, std::milli>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One weakener run at the Monte-Carlo trial configuration (kNone, no
+/// metrics). Seeds mirror the timed loop: run i uses coin 2i+1, sched 2i+2.
+sim::RunResult weakener_run(int i, int k) {
+  adversary::McInstance inst = make_abd_weakener(
+      static_cast<std::uint64_t>(i) * 2 + 1, k, kWeakenerNumProcesses,
+      /*metrics=*/false, sim::TraceDetail::kNone);
+  sim::UniformAdversary adv(static_cast<std::uint64_t>(i) * 2 + 2);
+  return inst.world->run(adv);
+}
+
+struct StepsTiming {
+  std::int64_t steps = 0;
+  double wall_ms = 0.0;
+};
+
+StepsTiming time_steps(int k, int runs) {
+  {  // warmup, outside the clock
+    adversary::McInstance inst =
+        make_abd_weakener(999, k, kWeakenerNumProcesses,
+                          /*metrics=*/false, sim::TraceDetail::kNone);
+    sim::UniformAdversary adv(999);
+    (void)inst.world->run(adv);
+  }
+  StepsTiming t;
+  const double t0 = now_ms();
+  for (int i = 0; i < runs; ++i) {
+    const sim::RunResult res = weakener_run(i, k);
+    BLUNT_ASSERT(res.status == sim::RunStatus::kCompleted,
+                 "hotpath weakener run did not complete");
+    t.steps += res.steps;
+  }
+  t.wall_ms = now_ms() - t0;
+  return t;
+}
+
+/// A chaos-soak-shaped ABD history: 3 processes each write then read,
+/// `ops_per_proc` rounds, scheduled uniformly at random.
+lin::History make_lin_sample(int ops_per_proc, std::uint64_t seed) {
+  auto w = std::make_unique<sim::World>(
+      sim::Config{}, std::make_unique<sim::SeededCoin>(seed));
+  objects::AbdRegister reg("R", *w, {.num_processes = 3});
+  for (Pid pid = 0; pid < 3; ++pid) {
+    w->add_process("p" + std::to_string(pid),
+                   [&reg, pid, ops_per_proc](sim::Proc p) -> sim::Task<void> {
+                     for (int i = 0; i < ops_per_proc; ++i) {
+                       co_await reg.write(
+                           p, sim::Value(std::int64_t{pid * 100 + i}));
+                       (void)co_await reg.read(p);
+                     }
+                   });
+  }
+  sim::UniformAdversary adv(seed + 42);
+  const sim::RunResult res = w->run(adv);
+  BLUNT_ASSERT(res.status == sim::RunStatus::kCompleted,
+               "hotpath lin sample did not complete");
+  return lin::History::from_world(*w);
+}
+
+struct LinTiming {
+  std::int64_t checks = 0;
+  std::int64_t non_linearizable = 0;
+  double wall_ms = 0.0;
+};
+
+LinTiming time_lin(int iterations) {
+  std::vector<lin::History> samples;
+  for (const std::uint64_t seed : {7ULL, 11ULL, 13ULL, 17ULL}) {
+    samples.push_back(make_lin_sample(2, seed));
+    samples.push_back(make_lin_sample(3, seed));
+  }
+  lin::RegisterSpec spec;
+  for (const lin::History& h : samples) {  // warmup
+    (void)lin::check_linearizable(h, spec);
+  }
+  LinTiming t;
+  const double t0 = now_ms();
+  for (int i = 0; i < iterations; ++i) {
+    for (const lin::History& h : samples) {
+      const lin::LinearizationResult r = lin::check_linearizable(h, spec);
+      if (!r.linearizable) ++t.non_linearizable;
+      ++t.checks;
+    }
+  }
+  t.wall_ms = now_ms() - t0;
+  return t;
+}
+
+// -- Parallel trial phase ----------------------------------------------------
+
+void trial(const TrialContext& ctx, Accumulator& acc) {
+  // First half of the trial space is k=1, second half k=2; in-group index i
+  // reuses the timed loop's seed shape, so the merged counters are a pure
+  // function of (trials), identical at every thread count.
+  const std::int64_t half = ctx.trials / 2;
+  const int k = ctx.trial_index < half ? 1 : 2;
+  const int i = static_cast<int>(ctx.trial_index % half);
+  const sim::RunResult res = weakener_run(i, k);
+  BLUNT_ASSERT(res.status == sim::RunStatus::kCompleted,
+               "hotpath MC trial did not complete");
+  const std::string g = k == 1 ? "k1" : "k2";
+  acc.counter(g + ".runs") += 1;
+  acc.counter(g + ".steps") += res.steps;
+}
+
+int finalize(obs::BenchReport& report, const Accumulator& acc,
+             const RunInfo& info) {
+  print_header("Hotpath: scheduler steps/sec and lin-checks/sec");
+
+  const StepsTiming s1 = time_steps(1, kStepRunsK1);
+  const StepsTiming s2 = time_steps(2, kStepRunsK2);
+  const LinTiming lt = time_lin(kLinIterations);
+
+  const double sps1 = 1000.0 * static_cast<double>(s1.steps) / s1.wall_ms;
+  const double sps2 = 1000.0 * static_cast<double>(s2.steps) / s2.wall_ms;
+  const double cps = 1000.0 * static_cast<double>(lt.checks) / lt.wall_ms;
+
+  print_rule();
+  std::printf("%-34s %12s %10s %14s\n", "workload", "work", "wall ms",
+              "per sec");
+  print_rule();
+  std::printf("%-34s %12lld %10.1f %14.0f\n",
+              "scheduler steps, weakener ABD^1",
+              static_cast<long long>(s1.steps), s1.wall_ms, sps1);
+  std::printf("%-34s %12lld %10.1f %14.0f\n",
+              "scheduler steps, weakener ABD^2",
+              static_cast<long long>(s2.steps), s2.wall_ms, sps2);
+  std::printf("%-34s %12lld %10.1f %14.0f\n", "Wing-Gong checks, ABD histories",
+              static_cast<long long>(lt.checks), lt.wall_ms, cps);
+  print_rule();
+  std::printf("MC trial phase: k1 %lld steps / %lld runs, k2 %lld steps / "
+              "%lld runs\n",
+              static_cast<long long>(acc.counter_or("k1.steps")),
+              static_cast<long long>(acc.counter_or("k1.runs")),
+              static_cast<long long>(acc.counter_or("k2.steps")),
+              static_cast<long long>(acc.counter_or("k2.runs")));
+
+  // Exact work totals: bit-identity invariants of the kernel, regression-
+  // gated against the baseline (any drift means the execution changed).
+  report.set_metric_int("steps_total_k1", s1.steps);
+  report.set_metric_int("steps_total_k2", s2.steps);
+  report.set_metric_int("step_runs_k1", kStepRunsK1);
+  report.set_metric_int("step_runs_k2", kStepRunsK2);
+  report.set_metric_int("lin_checks", lt.checks);
+  report.set_metric_int("lin_non_linearizable", lt.non_linearizable);
+  report.set_metric_int("mc_steps_k1", acc.counter_or("k1.steps"));
+  report.set_metric_int("mc_steps_k2", acc.counter_or("k2.steps"));
+  report.set_metric_int("mc_runs_k1", acc.counter_or("k1.runs"));
+  report.set_metric_int("mc_runs_k2", acc.counter_or("k2.runs"));
+
+  // Wall clocks and throughputs: advisory in the comparator (host-relative);
+  // the CI Release gate reads them straight out of the baseline and the
+  // fresh report to compute the speedup ratio.
+  report.add_timing_ms("steps_k1", s1.wall_ms);
+  report.add_timing_ms("steps_k2", s2.wall_ms);
+  report.add_timing_ms("lin_checks", lt.wall_ms);
+  report.add_timing_ms("steps_per_sec_k1", sps1);
+  report.add_timing_ms("steps_per_sec_k2", sps2);
+  report.add_timing_ms("lin_checks_per_sec", cps);
+
+  // One instrumented full-detail run so the registry section carries the
+  // canonical counters like every other report.
+  merge_probe(report, run_instrumented_weakener(/*coin_seed=*/0,
+                                                /*sched_seed=*/0, /*k=*/2)
+                          .snapshot);
+  (void)info;
+  return lt.non_linearizable == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+Experiment make_hotpath_experiment() {
+  Experiment e;
+  e.name = "hotpath";
+  e.description =
+      "kernel throughput: scheduler steps/sec (weakener ABD^k at kNone) and "
+      "Wing-Gong lin-checks/sec; timed loops in finalize, parallel MC trial "
+      "phase for the thread-count bit-identity sweep";
+  e.default_trials = 600;
+  e.default_seed = 0;
+  e.seed_derivation = SeedDerivation::kLinear;
+  e.trial = trial;
+  e.finalize = finalize;
+  return e;
+}
+
+}  // namespace blunt::exp

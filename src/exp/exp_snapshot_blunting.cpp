@@ -47,7 +47,8 @@ void trial(const TrialContext& ctx, Accumulator& acc) {
       static_cast<std::uint64_t>(ctx.trial_index % kRunsPerK);
 
   auto w = std::make_unique<sim::World>(
-      sim::Config{}, std::make_unique<sim::SeededCoin>(seed));
+      sim::Config{.trace_detail = sim::TraceDetail::kNone},
+      std::make_unique<sim::SeededCoin>(seed));
   objects::AfekSnapshot snap(
       "S", *w, {.num_processes = 3, .preamble_iterations = k});
   objects::AtomicRegister c("C", *w, sim::Value(std::int64_t{-1}));

@@ -35,7 +35,11 @@ constexpr Cfg kCfgs[] = {{1, 2}, {1, 3}, {2, 3}, {4, 3}, {1, 8}, {8, 8}};
 constexpr int kMcK = 2;  // the MC component samples the weakener over ABD²
 
 void trial(const TrialContext& ctx, Accumulator& acc) {
-  adversary::McInstance inst = make_abd_weakener(ctx.seed, kMcK);
+  // Trial bodies never read the trace, so they run at kNone — bit-identical
+  // execution (hotpath_determinism_test), none of the trace allocation.
+  adversary::McInstance inst =
+      make_abd_weakener(ctx.seed, kMcK, kWeakenerNumProcesses,
+                        /*metrics=*/false, sim::TraceDetail::kNone);
   sim::UniformAdversary adv(splitmix64(ctx.seed));
   const sim::RunResult res = inst.world->run(adv);
   BLUNT_ASSERT(res.status == sim::RunStatus::kCompleted,

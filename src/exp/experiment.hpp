@@ -85,7 +85,7 @@ void register_experiment(Experiment e);
 [[nodiscard]] std::vector<const Experiment*> list_experiments();
 
 /// Registers the ported bench suite (theorem42_bound, abd_k_sweep,
-/// chaos_soak, equivalence_soak, snapshot_blunting). Idempotent.
+/// chaos_soak, equivalence_soak, snapshot_blunting, hotpath). Idempotent.
 void register_builtin_experiments();
 
 }  // namespace blunt::exp

@@ -8,6 +8,7 @@ Experiment make_abd_k_sweep_experiment();
 Experiment make_chaos_soak_experiment();
 Experiment make_equivalence_soak_experiment();
 Experiment make_snapshot_blunting_experiment();
+Experiment make_hotpath_experiment();
 
 void register_builtin_experiments() {
   static const bool once = [] {
@@ -16,6 +17,7 @@ void register_builtin_experiments() {
     register_experiment(make_chaos_soak_experiment());
     register_experiment(make_equivalence_soak_experiment());
     register_experiment(make_snapshot_blunting_experiment());
+    register_experiment(make_hotpath_experiment());
     return true;
   }();
   (void)once;

@@ -32,12 +32,16 @@ inline constexpr int kWeakenerNumProcesses = 3;
 /// `num_processes` is the ABD replication width n (not the number of
 /// weakener processes, which Algorithm 1 fixes at three). `metrics` turns on
 /// the world's observability registry (reach it via inst.world->metrics()).
+/// `trace_detail` selects how much of the trace is materialized; executions
+/// are bit-identical across levels (see sim::TraceDetail), so MC trial
+/// bodies that never read the trace pass kNone to stay off the allocator.
 inline adversary::McInstance make_abd_weakener(
     std::uint64_t coin_seed, int k,
-    int num_processes = kWeakenerNumProcesses, bool metrics = false) {
+    int num_processes = kWeakenerNumProcesses, bool metrics = false,
+    sim::TraceDetail trace_detail = sim::TraceDetail::kFull) {
   adversary::McInstance inst;
   inst.world = std::make_unique<sim::World>(
-      sim::Config{.metrics = metrics},
+      sim::Config{.metrics = metrics, .trace_detail = trace_detail},
       std::make_unique<sim::SeededCoin>(coin_seed));
   auto r = std::make_shared<objects::AbdRegister>(
       "R", *inst.world,

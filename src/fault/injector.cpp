@@ -78,23 +78,37 @@ void FaultInjector::on_step(sim::World& w) {
       st.opened = true;
       ++opened_;
       if (opened_counter_ != nullptr) opened_counter_->inc();
-      trace_->append({.pid = -1,
-                      .kind = sim::StepKind::kFault,
-                      .what = "partition open " +
-                              mask_to_string(p.side_mask, plan_.num_processes),
-                      .inv = -1,
-                      .value = {}});
+      if (trace_->recording()) {
+        trace_->append(
+            {.pid = -1,
+             .kind = sim::StepKind::kFault,
+             .what = trace_->wants_what()
+                         ? "partition open " +
+                               mask_to_string(p.side_mask, plan_.num_processes)
+                         : std::string(),
+             .inv = -1,
+             .value = {}});
+      } else {
+        trace_->skip();
+      }
     }
     if (st.opened && !st.healed && step >= p.heal_step) {
       st.healed = true;
       ++healed_;
       if (healed_counter_ != nullptr) healed_counter_->inc();
-      trace_->append({.pid = -1,
-                      .kind = sim::StepKind::kFault,
-                      .what = "partition heal " +
-                              mask_to_string(p.side_mask, plan_.num_processes),
-                      .inv = -1,
-                      .value = {}});
+      if (trace_->recording()) {
+        trace_->append(
+            {.pid = -1,
+             .kind = sim::StepKind::kFault,
+             .what = trace_->wants_what()
+                         ? "partition heal " +
+                               mask_to_string(p.side_mask, plan_.num_processes)
+                         : std::string(),
+             .inv = -1,
+             .value = {}});
+      } else {
+        trace_->skip();
+      }
     }
   }
 }

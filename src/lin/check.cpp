@@ -1,9 +1,12 @@
 #include "lin/check.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/assert.hpp"
 
@@ -11,14 +14,87 @@ namespace blunt::lin {
 
 namespace {
 
+/// Open-addressed set of (done, state-hash) pairs — the checker's failed-node
+/// memo. The empty-slot sentinel lives in `done`: histories hold at most 62
+/// operations, so every real done-mask is < 2^62 and can never equal ~0.
+/// Linear probing over a power-of-two table; no deletion.
+class MemoSet {
+ public:
+  MemoSet() : slots_(kInitialSlots) {}
+
+  [[nodiscard]] bool contains(std::uint64_t done, std::uint64_t state) const {
+    std::size_t i = probe_start(done, state);
+    while (slots_[i].done != kEmpty) {
+      if (slots_[i].done == done && slots_[i].state == state) return true;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return false;
+  }
+
+  void insert(std::uint64_t done, std::uint64_t state) {
+    if ((size_ + 1) * 10 >= slots_.size() * 7) grow();  // keep load < 0.7
+    std::size_t i = probe_start(done, state);
+    while (slots_[i].done != kEmpty) {
+      if (slots_[i].done == done && slots_[i].state == state) return;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    slots_[i] = {done, state};
+    ++size_;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t done = kEmpty;
+    std::uint64_t state = 0;
+  };
+
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+  static constexpr std::size_t kInitialSlots = 1024;
+
+  [[nodiscard]] std::size_t probe_start(std::uint64_t done,
+                                        std::uint64_t state) const {
+    // splitmix64 finalizer over the combined key.
+    std::uint64_t x = done ^ (state + 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x) & (slots_.size() - 1);
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    for (const Slot& s : old) {
+      if (s.done == kEmpty) continue;
+      std::size_t i = probe_start(s.done, s.state);
+      while (slots_[i].done != kEmpty) i = (i + 1) & (slots_.size() - 1);
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
 class WingGong {
  public:
   WingGong(const History& h, const SequentialSpec& spec) : h_(h) {
     state_ = spec.initial();
+    undoable_ = state_->undoable();
     const int m = h_.size();
     BLUNT_ASSERT(m <= 62, "history too large for bitmask checker: " << m);
+    pred_mask_.assign(static_cast<std::size_t>(m), 0);
     for (int i = 0; i < m; ++i) {
       if (!h_.op(i).pending()) completed_mask_ |= bit(i);
+      // Everything that really-precedes op i, as a mask: op i is minimal in
+      // the extension order exactly when pred_mask_[i] & ~done == 0.
+      for (int j = 0; j < m; ++j) {
+        if (j != i && h_.precedes(j, i)) {
+          pred_mask_[static_cast<std::size_t>(i)] |= bit(j);
+        }
+      }
     }
   }
 
@@ -39,43 +115,43 @@ class WingGong {
   // `done`: set of linearized ops. Success when all completed ops are done.
   bool dfs(std::uint64_t done) {
     if ((completed_mask_ & ~done) == 0) return true;
-    std::string key = std::to_string(done) + '|' + state_->encode();
-    if (failed_.contains(key)) return false;
+    const std::uint64_t shash = state_->hash();
+    if (failed_.contains(done, shash)) return false;
 
     const int m = h_.size();
     for (int i = 0; i < m; ++i) {
       if (done & bit(i)) continue;
-      if (!minimal(i, done)) continue;
+      if ((pred_mask_[static_cast<std::size_t>(i)] & ~done) != 0) {
+        continue;  // a real-time predecessor is not yet linearized
+      }
       const Operation& op = h_.op(i);
       const sim::Value forced = state_->result_of(op);
       if (!op.pending() && !(forced == *op.result)) continue;  // illegal here
       // Linearize op i now.
-      std::unique_ptr<SpecState> saved = state_->clone();
-      state_->apply(op);
       witness_.push_back(op.id);
-      if (dfs(done | bit(i))) return true;
+      if (undoable_) {
+        state_->apply_undoable(op);
+        if (dfs(done | bit(i))) return true;
+        state_->undo();
+      } else {
+        std::unique_ptr<SpecState> saved = state_->clone();
+        state_->apply(op);
+        if (dfs(done | bit(i))) return true;
+        state_ = std::move(saved);
+      }
       witness_.pop_back();
-      state_ = std::move(saved);
     }
-    failed_.insert(std::move(key));
+    failed_.insert(done, shash);
     return false;
-  }
-
-  // op i is minimal iff every op that really-precedes it is already done.
-  bool minimal(int i, std::uint64_t done) const {
-    const int m = h_.size();
-    for (int j = 0; j < m; ++j) {
-      if (j == i || (done & bit(j))) continue;
-      if (h_.precedes(j, i)) return false;
-    }
-    return true;
   }
 
   const History& h_;
   std::unique_ptr<SpecState> state_;
+  bool undoable_ = false;
   std::uint64_t completed_mask_ = 0;
+  std::vector<std::uint64_t> pred_mask_;
   std::vector<InvocationId> witness_;
-  std::unordered_set<std::string> failed_;
+  MemoSet failed_;
 };
 
 }  // namespace
@@ -88,9 +164,14 @@ LinearizationResult check_linearizable(const History& h,
 bool check_all_objects(const History& h,
                        const std::function<const SequentialSpec*(int)>& spec_for,
                        std::string* why) {
-  // Collect the distinct object ids present.
-  std::unordered_set<int> objects;
-  for (const Operation& op : h.ops()) objects.insert(op.object_id);
+  // Distinct object ids in ascending order: the iteration order (and hence
+  // which object a multi-failure history is reported for) is deterministic,
+  // unlike the unordered_set this replaced.
+  std::vector<int> objects;
+  objects.reserve(h.ops().size());
+  for (const Operation& op : h.ops()) objects.push_back(op.object_id);
+  std::sort(objects.begin(), objects.end());
+  objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
   for (int obj : objects) {
     const SequentialSpec* spec = spec_for(obj);
     if (spec == nullptr) continue;
@@ -115,7 +196,13 @@ bool validate_linearization(const History& h, const SequentialSpec& spec,
     if (why != nullptr) *why = msg;
     return false;
   };
-  // Every completed op present; no duplicates; all ops exist.
+  // Resolve ids once: History::find is linear, so repeating it per pair made
+  // this validator cubic in the history size.
+  std::unordered_map<InvocationId, const Operation*> by_id;
+  by_id.reserve(h.ops().size());
+  for (const Operation& op : h.ops()) by_id.emplace(op.id, &op);
+  std::vector<const Operation*> resolved;
+  resolved.reserve(order.size());
   std::unordered_set<InvocationId> in_order(order.begin(), order.end());
   if (in_order.size() != order.size()) return fail("duplicate op in order");
   for (const Operation& op : h.ops()) {
@@ -124,23 +211,27 @@ bool validate_linearization(const History& h, const SequentialSpec& spec,
     }
   }
   for (InvocationId id : order) {
-    if (h.find(id) == nullptr) return fail("unknown op id in order");
+    const auto it = by_id.find(id);
+    if (it == by_id.end()) return fail("unknown op id in order");
+    resolved.push_back(it->second);
   }
-  // Real-time precedence.
-  for (std::size_t a = 0; a < order.size(); ++a) {
-    const Operation* oa = h.find(order[a]);
-    for (std::size_t b = a + 1; b < order.size(); ++b) {
-      const Operation* ob = h.find(order[b]);
-      if (ob->ret_pos >= 0 && ob->ret_pos < oa->call_pos) {
-        return fail("order violates precedence: " + ob->describe() +
-                    " must precede " + oa->describe());
-      }
+  // Real-time precedence: order[b] may not have returned before any earlier
+  // order[a] was called. One pass with a running max of call positions —
+  // order[b] violates precedence iff ret_pos(b) < max call_pos among its
+  // predecessors in the order.
+  std::size_t argmax_call = 0;
+  for (std::size_t b = 1; b < resolved.size(); ++b) {
+    const Operation* oa = resolved[argmax_call];
+    const Operation* ob = resolved[b];
+    if (ob->ret_pos >= 0 && ob->ret_pos < oa->call_pos) {
+      return fail("order violates precedence: " + ob->describe() +
+                  " must precede " + oa->describe());
     }
+    if (ob->call_pos > oa->call_pos) argmax_call = b;
   }
   // Spec legality.
   std::unique_ptr<SpecState> state = spec.initial();
-  for (InvocationId id : order) {
-    const Operation* op = h.find(id);
+  for (const Operation* op : resolved) {
     const sim::Value forced = state->result_of(*op);
     if (op->result.has_value() && !(forced == *op->result)) {
       return fail("illegal result for " + op->describe() + ", spec forces " +

@@ -1,12 +1,49 @@
 #include "lin/spec.hpp"
 
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "common/assert.hpp"
 
 namespace blunt::lin {
 
 namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a_step(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_bytes(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Hashes a Value by variant index + payload, matching no particular
+/// serialization — only required to be injective enough for the checker's
+/// (done, state-hash) memo.
+std::uint64_t hash_value(std::uint64_t h, const sim::Value& v) {
+  h = fnv1a_step(h, v.index());
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    h = fnv1a_step(h, static_cast<std::uint64_t>(*i));
+  } else if (const auto* vec = std::get_if<std::vector<std::int64_t>>(&v)) {
+    h = fnv1a_step(h, vec->size());
+    for (std::int64_t x : *vec) h = fnv1a_step(h, static_cast<std::uint64_t>(x));
+  } else if (const auto* s = std::get_if<std::string>(&v)) {
+    h = fnv1a_bytes(h, *s);
+  }
+  return h;
+}
 
 class RegisterState final : public SpecState {
  public:
@@ -30,8 +67,36 @@ class RegisterState final : public SpecState {
     return "reg:" + sim::to_string(value_);
   }
 
+  [[nodiscard]] bool undoable() const override { return true; }
+
+  void apply_undoable(const Operation& op) override {
+    if (op.method == "Write") {
+      undo_.push_back(std::move(value_));
+      value_ = op.argument;
+    } else {
+      undo_.emplace_back();  // Read: no effect, but keep the LIFO aligned
+    }
+  }
+
+  void undo() override {
+    BLUNT_ASSERT(!undo_.empty(), "register undo with empty stack");
+    if (undo_.back().has_value()) value_ = std::move(*undo_.back());
+    undo_.pop_back();
+  }
+
+  [[nodiscard]] std::uint64_t hash() const override {
+    return hash_value(kFnvOffset ^ 'r', value_);
+  }
+
+  void encode_into(std::string& out) const override {
+    out += "reg:";
+    out += sim::to_string(value_);
+  }
+
  private:
   sim::Value value_;
+  // Undo stack: prior value for a Write, nullopt for a Read.
+  std::vector<std::optional<sim::Value>> undo_;
 };
 
 class QueueState final : public SpecState {
@@ -105,11 +170,60 @@ class SnapshotState final : public SpecState {
     return os.str();
   }
 
+  [[nodiscard]] bool undoable() const override { return true; }
+
+  void apply_undoable(const Operation& op) override {
+    if (op.method == "Update") {
+      const auto seg = static_cast<std::size_t>(op.pid);
+      BLUNT_ASSERT(op.pid >= 0 && seg < segs_.size(),
+                   "Update by pid " << op.pid << " outside snapshot of "
+                                    << segs_.size() << " segments");
+      undo_.push_back({op.pid, segs_[seg]});
+      segs_[seg] = sim::as_int(op.argument);
+    } else {
+      undo_.push_back({-1, 0});  // Scan: no effect
+    }
+  }
+
+  void undo() override {
+    BLUNT_ASSERT(!undo_.empty(), "snapshot undo with empty stack");
+    const auto [pid, old] = undo_.back();
+    if (pid >= 0) segs_[static_cast<std::size_t>(pid)] = old;
+    undo_.pop_back();
+  }
+
+  [[nodiscard]] std::uint64_t hash() const override {
+    std::uint64_t h = kFnvOffset ^ 's';
+    for (std::int64_t s : segs_) h = fnv1a_step(h, static_cast<std::uint64_t>(s));
+    return h;
+  }
+
+  void encode_into(std::string& out) const override {
+    out += "snap:";
+    // Fixed segment count per spec instance => length-prefixing not needed.
+    for (std::int64_t s : segs_) {
+      for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<char>(
+            (static_cast<std::uint64_t>(s) >> (8 * i)) & 0xff));
+      }
+    }
+  }
+
  private:
   std::vector<std::int64_t> segs_;
+  // Undo stack: (segment pid, prior value) for an Update, (-1, 0) for a Scan.
+  std::vector<std::pair<Pid, std::int64_t>> undo_;
 };
 
 }  // namespace
+
+void SpecState::undo() {
+  BLUNT_UNREACHABLE("undo() on a SpecState that is not undoable");
+}
+
+std::uint64_t SpecState::hash() const {
+  return fnv1a_bytes(kFnvOffset, encode());
+}
 
 std::unique_ptr<SpecState> RegisterSpec::initial() const {
   return std::make_unique<RegisterState>(initial_);

@@ -5,6 +5,7 @@
 // forced return value when linearizing a pending operation.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -27,6 +28,30 @@ class SpecState {
 
   /// Canonical serialization; used as an exact memoization key.
   [[nodiscard]] virtual std::string encode() const = 0;
+
+  // -- Hot-path hooks for the Wing–Gong checker (lin/check.cpp) --
+
+  /// A state supporting cheap in-place reversal returns true and implements
+  /// apply_undoable()/undo() as exact inverses; the checker then never
+  /// clones on a DFS edge. States without a cheap inverse (the queue's Deq
+  /// discards its front) keep the clone() fallback.
+  [[nodiscard]] virtual bool undoable() const { return false; }
+
+  /// Like apply(), but records enough to reverse the effect with undo().
+  /// Called only when undoable(); calls nest LIFO (one undo() per apply).
+  virtual void apply_undoable(const Operation& op) { apply(op); }
+
+  /// Reverses the most recent un-undone apply_undoable().
+  virtual void undo();
+
+  /// 64-bit hash of the canonical encoding — the checker's memo key
+  /// component. Equal states must hash equally; the default hashes
+  /// encode(), overrides hash the live representation directly.
+  [[nodiscard]] virtual std::uint64_t hash() const;
+
+  /// Appends the canonical encoding to `out` (no clear); default appends
+  /// encode(). Exists so callers can reuse one buffer across states.
+  virtual void encode_into(std::string& out) const { out += encode(); }
 };
 
 class SequentialSpec {

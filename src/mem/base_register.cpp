@@ -9,6 +9,8 @@ namespace blunt::mem {
 BaseRegister::BaseRegister(std::string name, sim::Value initial,
                            std::vector<Pid> writers, std::vector<Pid> readers)
     : name_(std::move(name)),
+      read_label_(name_ + ".read"),
+      write_label_(name_ + ".write"),
       value_(std::move(initial)),
       writers_(std::move(writers)),
       readers_(std::move(readers)) {}
@@ -22,29 +24,39 @@ void BaseRegister::check_access(Pid pid, const std::vector<Pid>& allowed,
 
 sim::Task<sim::Value> BaseRegister::read(sim::Proc p, InvocationId inv) {
   check_access(p.pid(), readers_, "read");
-  co_await p.yield(sim::StepKind::kRegisterRead, name_ + ".read", inv);
+  co_await p.yield(sim::StepKind::kRegisterRead, read_label_, inv);
   // Scheduled: the read happens now, atomically.
   ++reads_;
   sim::Value v = value_;
-  p.world().trace_mutable().append({.pid = p.pid(),
-                                    .kind = sim::StepKind::kRegisterRead,
-                                    .what = name_,
-                                    .inv = inv,
-                                    .value = v});
+  sim::Trace& trace = p.world().trace_mutable();
+  if (trace.recording()) {
+    trace.append({.pid = p.pid(),
+                  .kind = sim::StepKind::kRegisterRead,
+                  .what = trace.wants_what() ? name_ : std::string(),
+                  .inv = inv,
+                  .value = v});
+  } else {
+    trace.skip();
+  }
   co_return v;
 }
 
 sim::Task<void> BaseRegister::write(sim::Proc p, sim::Value v,
                                     InvocationId inv) {
   check_access(p.pid(), writers_, "write");
-  co_await p.yield(sim::StepKind::kRegisterWrite, name_ + ".write", inv);
+  co_await p.yield(sim::StepKind::kRegisterWrite, write_label_, inv);
   ++writes_;
   value_ = v;
-  p.world().trace_mutable().append({.pid = p.pid(),
-                                    .kind = sim::StepKind::kRegisterWrite,
-                                    .what = name_,
-                                    .inv = inv,
-                                    .value = std::move(v)});
+  sim::Trace& trace = p.world().trace_mutable();
+  if (trace.recording()) {
+    trace.append({.pid = p.pid(),
+                  .kind = sim::StepKind::kRegisterWrite,
+                  .what = trace.wants_what() ? name_ : std::string(),
+                  .inv = inv,
+                  .value = std::move(v)});
+  } else {
+    trace.skip();
+  }
 }
 
 RegisterArray::RegisterArray(std::string prefix, int count, sim::Value initial,

@@ -49,6 +49,10 @@ class BaseRegister {
                     const char* verb) const;
 
   std::string name_;
+  // Precomputed yield labels: register accesses are the shared-memory hot
+  // path and must not concatenate per step.
+  std::string read_label_;
+  std::string write_label_;
   sim::Value value_;
   std::vector<Pid> writers_;
   std::vector<Pid> readers_;

@@ -15,33 +15,47 @@ namespace blunt::mem {
 class FaaRegister {
  public:
   FaaRegister(std::string name, std::int64_t initial = 0)
-      : name_(std::move(name)), value_(initial) {}
+      : name_(std::move(name)),
+        faa_label_(name_ + ".faa"),
+        read_label_(name_ + ".read"),
+        value_(initial) {}
 
   /// Atomically adds `delta` and returns the PREVIOUS value; one step.
   sim::Task<std::int64_t> fetch_add(sim::Proc p, std::int64_t delta,
                                     InvocationId inv = -1) {
-    co_await p.yield(sim::StepKind::kRegisterWrite, name_ + ".faa", inv);
+    co_await p.yield(sim::StepKind::kRegisterWrite, faa_label_, inv);
     const std::int64_t old = value_;
     value_ += delta;
-    p.world().trace_mutable().append(
-        {.pid = p.pid(),
-         .kind = sim::StepKind::kRegisterWrite,
-         .what = name_ + ".faa " + std::to_string(old) + "->" +
-                 std::to_string(value_),
-         .inv = inv,
-         .value = sim::Value(old)});
+    sim::Trace& trace = p.world().trace_mutable();
+    if (trace.recording()) {
+      trace.append({.pid = p.pid(),
+                    .kind = sim::StepKind::kRegisterWrite,
+                    .what = trace.wants_what()
+                                ? name_ + ".faa " + std::to_string(old) +
+                                      "->" + std::to_string(value_)
+                                : std::string(),
+                    .inv = inv,
+                    .value = sim::Value(old)});
+    } else {
+      trace.skip();
+    }
     co_return old;
   }
 
   /// Atomic read; one step.
   sim::Task<std::int64_t> read(sim::Proc p, InvocationId inv = -1) {
-    co_await p.yield(sim::StepKind::kRegisterRead, name_ + ".read", inv);
+    co_await p.yield(sim::StepKind::kRegisterRead, read_label_, inv);
     const std::int64_t v = value_;
-    p.world().trace_mutable().append({.pid = p.pid(),
-                                      .kind = sim::StepKind::kRegisterRead,
-                                      .what = name_,
-                                      .inv = inv,
-                                      .value = sim::Value(v)});
+    sim::Trace& trace = p.world().trace_mutable();
+    if (trace.recording()) {
+      trace.append({.pid = p.pid(),
+                    .kind = sim::StepKind::kRegisterRead,
+                    .what = trace.wants_what() ? name_ : std::string(),
+                    .inv = inv,
+                    .value = sim::Value(v)});
+    } else {
+      trace.skip();
+    }
     co_return v;
   }
 
@@ -50,6 +64,8 @@ class FaaRegister {
 
  private:
   std::string name_;
+  std::string faa_label_;
+  std::string read_label_;
   std::int64_t value_;
 };
 

@@ -32,6 +32,9 @@ class TypedRegister {
   TypedRegister(std::string name, T initial, std::vector<Pid> writers = {},
                 std::vector<Pid> readers = {})
       : name_(std::move(name)),
+        read_label_(name_ + ".read"),
+        write_label_(name_ + ".write"),
+        swap_label_(name_ + ".swap"),
         value_(std::move(initial)),
         writers_(std::move(writers)),
         readers_(std::move(readers)) {}
@@ -39,29 +42,40 @@ class TypedRegister {
   /// One atomic read = one scheduler step.
   sim::Task<T> read(sim::Proc p, InvocationId inv = -1) {
     check(p.pid(), readers_, "read");
-    co_await p.yield(sim::StepKind::kRegisterRead, name_ + ".read", inv);
+    co_await p.yield(sim::StepKind::kRegisterRead, read_label_, inv);
     ++reads_;
     T v = value_;
-    p.world().trace_mutable().append({.pid = p.pid(),
-                                      .kind = sim::StepKind::kRegisterRead,
-                                      .what = name_ + " " + v.summary(),
-                                      .inv = inv,
-                                      .value = {}});
+    sim::Trace& trace = p.world().trace_mutable();
+    if (trace.recording()) {
+      trace.append({.pid = p.pid(),
+                    .kind = sim::StepKind::kRegisterRead,
+                    .what = trace.wants_what() ? name_ + " " + v.summary()
+                                               : std::string(),
+                    .inv = inv,
+                    .value = {}});
+    } else {
+      trace.skip();
+    }
     co_return v;
   }
 
   /// One atomic write = one scheduler step.
   sim::Task<void> write(sim::Proc p, T v, InvocationId inv = -1) {
     check(p.pid(), writers_, "write");
-    co_await p.yield(sim::StepKind::kRegisterWrite, name_ + ".write", inv);
+    co_await p.yield(sim::StepKind::kRegisterWrite, write_label_, inv);
     ++writes_;
     value_ = std::move(v);
-    p.world().trace_mutable().append(
-        {.pid = p.pid(),
-         .kind = sim::StepKind::kRegisterWrite,
-         .what = name_ + " " + value_.summary(),
-         .inv = inv,
-         .value = {}});
+    sim::Trace& trace = p.world().trace_mutable();
+    if (trace.recording()) {
+      trace.append({.pid = p.pid(),
+                    .kind = sim::StepKind::kRegisterWrite,
+                    .what = trace.wants_what() ? name_ + " " + value_.summary()
+                                               : std::string(),
+                    .inv = inv,
+                    .value = {}});
+    } else {
+      trace.skip();
+    }
   }
 
   /// One atomic swap (exchange) = one scheduler step: installs `v`, returns
@@ -69,15 +83,21 @@ class TypedRegister {
   /// Herlihy–Wing queue assumes.)
   sim::Task<T> swap(sim::Proc p, T v, InvocationId inv = -1) {
     check(p.pid(), writers_, "swap");
-    co_await p.yield(sim::StepKind::kRegisterWrite, name_ + ".swap", inv);
+    co_await p.yield(sim::StepKind::kRegisterWrite, swap_label_, inv);
     ++writes_;
     T old = std::exchange(value_, std::move(v));
-    p.world().trace_mutable().append(
-        {.pid = p.pid(),
-         .kind = sim::StepKind::kRegisterWrite,
-         .what = name_ + ".swap -> " + value_.summary(),
-         .inv = inv,
-         .value = {}});
+    sim::Trace& trace = p.world().trace_mutable();
+    if (trace.recording()) {
+      trace.append({.pid = p.pid(),
+                    .kind = sim::StepKind::kRegisterWrite,
+                    .what = trace.wants_what()
+                                ? name_ + ".swap -> " + value_.summary()
+                                : std::string(),
+                    .inv = inv,
+                    .value = {}});
+    } else {
+      trace.skip();
+    }
     co_return old;
   }
 
@@ -98,6 +118,10 @@ class TypedRegister {
   }
 
   std::string name_;
+  // Precomputed yield labels (see mem::BaseRegister): no per-step concats.
+  std::string read_label_;
+  std::string write_label_;
+  std::string swap_label_;
   T value_;
   std::vector<Pid> writers_;
   std::vector<Pid> readers_;

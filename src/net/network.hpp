@@ -105,12 +105,18 @@ class Network final : public sim::DeliverySource {
       ++messages_lost_;
       if (lost_counter_ != nullptr) lost_counter_->inc();
       if (trace_ != nullptr) {
-        trace_->append({.pid = from,
-                        .kind = sim::StepKind::kFault,
-                        .what = name_ + "→p" + std::to_string(to) + " LOST " +
-                                msg.summary(),
-                        .inv = -1,
-                        .value = {}});
+        if (trace_->recording()) {
+          trace_->append({.pid = from,
+                          .kind = sim::StepKind::kFault,
+                          .what = trace_->wants_what()
+                                      ? name_ + "→p" + std::to_string(to) +
+                                            " LOST " + msg.summary()
+                                      : std::string(),
+                          .inv = -1,
+                          .value = {}});
+        } else {
+          trace_->skip();
+        }
       }
       return;
     }
@@ -118,13 +124,20 @@ class Network final : public sim::DeliverySource {
     for (int copy = 0; copy < fate.copies; ++copy) {
       const int id = next_id_++;
       if (trace_ != nullptr) {
-        trace_->append({.pid = from,
-                        .kind = copy == 0 ? sim::StepKind::kSend
-                                          : sim::StepKind::kFault,
-                        .what = name_ + "→p" + std::to_string(to) +
-                                (copy == 0 ? " " : " DUP ") + msg.summary(),
-                        .inv = -1,
-                        .value = {}});
+        if (trace_->recording()) {
+          trace_->append({.pid = from,
+                          .kind = copy == 0 ? sim::StepKind::kSend
+                                            : sim::StepKind::kFault,
+                          .what = trace_->wants_what()
+                                      ? name_ + "→p" + std::to_string(to) +
+                                            (copy == 0 ? " " : " DUP ") +
+                                            msg.summary()
+                                      : std::string(),
+                          .inv = -1,
+                          .value = {}});
+        } else {
+          trace_->skip();
+        }
       }
       if (copy > 0) {
         ++messages_duplicated_;
@@ -141,14 +154,17 @@ class Network final : public sim::DeliverySource {
 
   // -- DeliverySource --
 
-  void enumerate(std::vector<sim::PendingDelivery>& out) const override {
+  void enumerate(std::vector<sim::PendingDelivery>& out,
+                 bool want_summaries) const override {
     for (const auto& [id, env] : in_transit_) {
       if (fault_layer_ != nullptr &&
           fault_layer_->channel_blocked(env.from, env.to)) {
         continue;  // severed by a partition; held until it heals
       }
-      out.push_back({id, env.to, name_ + " " + env.payload.summary() +
-                                  " from p" + std::to_string(env.from)});
+      out.push_back({id, env.to,
+                     want_summaries ? name_ + " " + env.payload.summary() +
+                                          " from p" + std::to_string(env.from)
+                                    : std::string()});
     }
   }
 

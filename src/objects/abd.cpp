@@ -30,6 +30,11 @@ std::string AbdMessage::summary() const {
 
 AbdRegister::AbdRegister(std::string name, sim::World& w, Options opts)
     : name_(std::move(name)),
+      label_query_bcast_(name_ + ".query-bcast"),
+      label_query_quorum_(name_ + ".query-quorum"),
+      label_update_bcast_(name_ + ".update-bcast"),
+      label_update_quorum_(name_ + ".update-quorum"),
+      label_choose_iteration_(name_ + ".choose-iteration"),
       world_(w),
       opts_(opts),
       object_id_(w.register_object(name_)),
@@ -140,15 +145,17 @@ void AbdRegister::ResendSource::disarm(Pid client, int sn) {
 }
 
 void AbdRegister::ResendSource::enumerate(
-    std::vector<sim::PendingDelivery>& out) const {
+    std::vector<sim::PendingDelivery>& out, bool want_summaries) const {
   for (const auto& [id, t] : tokens_) {
     // A satisfied phase no longer offers its resend — the rebroadcast would
     // be pure noise, and hiding it keeps fault-free schedules identical.
     if (reg_->phase_satisfied(t.client, t.sn, t.msg.type)) continue;
     out.push_back({id, t.client,
-                   reg_->name_ + " resend " + t.msg.summary() + " by p" +
-                       std::to_string(t.client) + " (" +
-                       std::to_string(t.retries_left) + " left)"});
+                   want_summaries
+                       ? reg_->name_ + " resend " + t.msg.summary() + " by p" +
+                             std::to_string(t.client) + " (" +
+                             std::to_string(t.retries_left) + " left)"
+                       : std::string()});
   }
 }
 
@@ -161,12 +168,18 @@ void AbdRegister::ResendSource::deliver(int msg_id) {
   if (reg_->retransmission_counter_ != nullptr) {
     reg_->retransmission_counter_->inc();
   }
-  reg_->world_.trace_mutable().append(
-      {.pid = t.client,
-       .kind = sim::StepKind::kFault,
-       .what = reg_->name_ + " resend " + t.msg.summary(),
-       .inv = -1,
-       .value = {}});
+  sim::Trace& trace = reg_->world_.trace_mutable();
+  if (trace.recording()) {
+    trace.append({.pid = t.client,
+                  .kind = sim::StepKind::kFault,
+                  .what = trace.wants_what()
+                              ? reg_->name_ + " resend " + t.msg.summary()
+                              : std::string(),
+                  .inv = -1,
+                  .value = {}});
+  } else {
+    trace.skip();
+  }
   const Pid client = t.client;
   const AbdMessage msg = t.msg;
   if (t.retries_left <= 0) tokens_.erase(it);
@@ -201,7 +214,7 @@ sim::Task<std::pair<sim::Value, Timestamp>> AbdRegister::query_phase(
   Client& cli = clients_[static_cast<std::size_t>(p.pid())];
   const int sn = cli.next_sn++;
   ++query_phases_run_;
-  co_await p.yield(sim::StepKind::kSend, name_ + ".query-bcast", inv);
+  co_await p.yield(sim::StepKind::kSend, label_query_bcast_, inv);
   const AbdMessage msg{AbdMessage::Type::kQuery, sn};
   net_.broadcast(p.pid(), msg);
   if (opts_.max_retransmits > 0) {
@@ -212,7 +225,7 @@ sim::Task<std::pair<sim::Value, Timestamp>> AbdRegister::query_phase(
       [this, pid, sn] {
         return phase_satisfied(pid, sn, AbdMessage::Type::kQuery);
       },
-      name_ + ".query-quorum", inv);
+      label_query_quorum_, inv);
   resend_src_.disarm(pid, sn);
   if (quorum_round_trips_ != nullptr) quorum_round_trips_->inc();
   // Line 9: pair in reply with the largest timestamp, over the replies
@@ -229,7 +242,7 @@ sim::Task<void> AbdRegister::update_phase(sim::Proc p, InvocationId inv,
                                           sim::Value v, Timestamp u) {
   Client& cli = clients_[static_cast<std::size_t>(p.pid())];
   const int sn = cli.next_sn++;
-  co_await p.yield(sim::StepKind::kSend, name_ + ".update-bcast", inv);
+  co_await p.yield(sim::StepKind::kSend, label_update_bcast_, inv);
   const AbdMessage msg{AbdMessage::Type::kUpdate, sn, std::move(v), u};
   net_.broadcast(p.pid(), msg);
   if (opts_.max_retransmits > 0) {
@@ -240,7 +253,7 @@ sim::Task<void> AbdRegister::update_phase(sim::Proc p, InvocationId inv,
       [this, pid, sn] {
         return phase_satisfied(pid, sn, AbdMessage::Type::kUpdate);
       },
-      name_ + ".update-quorum", inv);
+      label_update_quorum_, inv);
   resend_src_.disarm(pid, sn);
   if (quorum_round_trips_ != nullptr) quorum_round_trips_->inc();
 }
@@ -257,7 +270,7 @@ sim::Task<sim::Value> AbdRegister::read(sim::Proc p) {
   // Algorithm 4: j := random([1..k]); original ABD (k = 1) stays
   // deterministic.
   int j = 0;
-  if (k > 1) j = co_await p.random(k, name_ + ".choose-iteration", inv);
+  if (k > 1) j = co_await p.random(k, label_choose_iteration_, inv);
   if (preamble_executed_ != nullptr) {
     preamble_executed_->inc(k);  // k query phases ran; one result survives —
     preamble_kept_->inc();       // the direct cost of the O^k transformation
@@ -292,7 +305,7 @@ sim::Task<void> AbdRegister::write(sim::Proc p, sim::Value v) {
     stamps.push_back((co_await query_phase(p, inv)).second);
   }
   int j = 0;
-  if (k > 1) j = co_await p.random(k, name_ + ".choose-iteration", inv);
+  if (k > 1) j = co_await p.random(k, label_choose_iteration_, inv);
   if (preamble_executed_ != nullptr) {
     preamble_executed_->inc(k);
     preamble_kept_->inc();

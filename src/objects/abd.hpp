@@ -146,7 +146,8 @@ class AbdRegister final : public RegisterObject {
     void arm(Pid client, int sn, AbdMessage msg, int retries);
     void disarm(Pid client, int sn);
 
-    void enumerate(std::vector<sim::PendingDelivery>& out) const override;
+    void enumerate(std::vector<sim::PendingDelivery>& out,
+                   bool want_summaries) const override;
     void deliver(int msg_id) override;
     void on_crash(Pid pid) override;
     void describe_pending(std::vector<std::string>& out) const override;
@@ -180,6 +181,13 @@ class AbdRegister final : public RegisterObject {
                                      AbdMessage::Type type) const;
 
   std::string name_;
+  // Step labels precomputed once: the phase hot paths park with borrowed
+  // views into these instead of concatenating a fresh string per yield.
+  std::string label_query_bcast_;
+  std::string label_query_quorum_;
+  std::string label_update_bcast_;
+  std::string label_update_quorum_;
+  std::string label_choose_iteration_;
   sim::World& world_;
   Options opts_;
   int object_id_;

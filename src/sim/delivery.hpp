@@ -23,7 +23,11 @@ class DeliverySource {
   virtual ~DeliverySource() = default;
 
   /// Append all currently deliverable messages, in canonical (msg_id) order.
-  virtual void enumerate(std::vector<PendingDelivery>& out) const = 0;
+  /// `want_summaries` is false when the World runs at reduced trace detail:
+  /// implementations must then leave `summary` empty instead of formatting
+  /// one per message per scheduler step (the enumeration hot path).
+  virtual void enumerate(std::vector<PendingDelivery>& out,
+                         bool want_summaries) const = 0;
 
   /// Deliver message `msg_id`: remove it from the in-transit set and run the
   /// recipient's handler synchronously. The handler may send further

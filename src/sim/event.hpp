@@ -10,6 +10,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -30,8 +31,15 @@ struct Event {
   Pid pid = -1;        // acting / affected process
   int source_id = -1;  // for kDeliver
   int msg_id = -1;     // for kDeliver
-  std::string what;    // label of the step that will execute (for adversaries
-                       // and debugging)
+  // Label of the step that will execute (for adversaries and debugging).
+  // A borrowed view, not owned storage: it points into string literals,
+  // long-lived object labels, coroutine-frame locals alive across the park,
+  // or the World's per-source pending buffers — all valid until the next
+  // enabled_events() enumeration / execute() call. Adversaries that retain
+  // events past that point (recording, shrinking) must copy it into a
+  // std::string. At reduced Config::trace_detail, delivery-event labels are
+  // empty (their formatting is the enumeration hot path's main allocation).
+  std::string_view what;
 
   friend bool operator==(const Event&, const Event&) = default;
 };

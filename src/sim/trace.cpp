@@ -35,10 +35,12 @@ std::ostream& operator<<(std::ostream& os, const TraceEntry& e) {
 }
 
 int Trace::append(TraceEntry e) {
-  e.index = static_cast<int>(entries_.size());
+  const int idx = next_index_++;
+  if (detail_ == TraceDetail::kNone) return idx;
+  e.index = idx;
   e.sched_step = sched_step_;
   entries_.push_back(std::move(e));
-  return static_cast<int>(entries_.size()) - 1;
+  return idx;
 }
 
 std::string Trace::to_string() const {

@@ -20,6 +20,19 @@
 
 namespace blunt::sim {
 
+/// How much of the execution record the World materializes. Every level
+/// appends the SAME entries in the SAME order — the dense entry index (and
+/// therefore every call_pos / ret_pos / line-pass position the lin module
+/// consumes) is identical at every level; only the stored payload varies.
+/// Monte-Carlo soaks run at kNone, where the hot path formats and stores
+/// nothing; replay tooling (scripted adversaries, the explorer, the shrinker)
+/// matches on formatted `what` labels and needs kFull.
+enum class TraceDetail {
+  kNone,   // count entries only: no storage, no formatted strings
+  kKinds,  // store entries (pid/kind/inv/value) but skip `what` strings
+  kFull,   // store everything (the historical default; byte-identical traces)
+};
+
 enum class StepKind {
   kSpawn,          // process creation
   kLocal,          // local computation step
@@ -69,6 +82,8 @@ struct InvocationRecord {
   std::optional<Value> result;   // empty = pending at end of execution
   int call_index = -1;           // trace index of the call action
   int return_index = -1;         // trace index of the return action, -1 pending
+  int call_sched_step = -1;      // scheduler step of the call action (latency
+                                 // metrics; independent of trace storage)
   int per_process_seq = -1;      // how many invocations this pid made before
   int max_line_passed = -1;      // highest control point recorded via mark_line
   // (control point, trace index at which it was passed), in pass order. The
@@ -89,18 +104,35 @@ struct InvocationRecord {
 class Trace {
  public:
   int append(TraceEntry e);  // fills index, returns it
+  /// Index-only form of append for detail levels that store nothing: bumps
+  /// the dense index without materializing a TraceEntry. Callers use
+  /// `recording() ? append({...}) : skip()` so index numbering is identical
+  /// at every TraceDetail level.
+  int skip() { return next_index_++; }
   void set_sched_step(int s) { sched_step_ = s; }
+  [[nodiscard]] int sched_step() const { return sched_step_; }
+
+  void set_detail(TraceDetail d) { detail_ = d; }
+  [[nodiscard]] TraceDetail detail() const { return detail_; }
+  /// Whether entries are stored at all (kKinds or kFull).
+  [[nodiscard]] bool recording() const { return detail_ != TraceDetail::kNone; }
+  /// Whether `what` strings should be formatted and stored (kFull only).
+  [[nodiscard]] bool wants_what() const { return detail_ == TraceDetail::kFull; }
 
   [[nodiscard]] const std::vector<TraceEntry>& entries() const {
     return entries_;
   }
-  [[nodiscard]] int size() const { return static_cast<int>(entries_.size()); }
+  /// Number of entries appended (counts skipped entries at kNone, so the
+  /// value matches entries().size() whenever recording()).
+  [[nodiscard]] int size() const { return next_index_; }
 
   /// Pretty-print the whole trace (tests and examples).
   [[nodiscard]] std::string to_string() const;
 
  private:
   std::vector<TraceEntry> entries_;
+  TraceDetail detail_ = TraceDetail::kFull;
+  int next_index_ = 0;
   int sched_step_ = 0;
 };
 

@@ -16,6 +16,7 @@ const char* to_string(RunStatus s) {
 World::World(Config cfg, std::unique_ptr<CoinSource> coins)
     : cfg_(cfg), coins_(std::move(coins)) {
   BLUNT_ASSERT(coins_ != nullptr, "World needs a CoinSource");
+  trace_.set_detail(cfg_.trace_detail);
   if (cfg_.metrics) {
     metrics_ = std::make_unique<obs::MetricsRegistry>();
     for (int k = 0; k < kNumStepKinds; ++k) {
@@ -48,6 +49,7 @@ Pid World::add_process(std::string name, ProcessBody body) {
 
 int World::attach(DeliverySource& src) {
   sources_.push_back(&src);
+  pending_bufs_.emplace_back();
   return static_cast<int>(sources_.size()) - 1;
 }
 
@@ -77,8 +79,14 @@ bool World::finished() const {
   });
 }
 
-std::vector<Event> World::enabled_events() const {
-  std::vector<Event> events;
+const std::vector<Event>& World::enabled_events() const {
+  // Member buffers (events_buf_, pending_bufs_) are reused across scheduler
+  // steps: after warm-up, a step enumerates, chooses, and executes without a
+  // single allocation. Event::what borrows — from literals, from the parked
+  // slots' pending labels, or from the pending buffers refilled here — and
+  // stays valid until the next enumeration.
+  std::vector<Event>& events = events_buf_;
+  events.clear();
   for (Pid pid = 0; pid < process_count(); ++pid) {
     const Slot& s = slots_[pid];
     switch (s.state) {
@@ -102,10 +110,11 @@ std::vector<Event> World::enabled_events() const {
         break;
     }
   }
-  std::vector<PendingDelivery> pending;
+  const bool want_summaries = trace_.wants_what();
   for (int sid = 0; sid < static_cast<int>(sources_.size()); ++sid) {
+    std::vector<PendingDelivery>& pending = pending_bufs_[sid];
     pending.clear();
-    sources_[sid]->enumerate(pending);
+    sources_[sid]->enumerate(pending, want_summaries);
     for (const PendingDelivery& d : pending) {
       if (crashed(d.to)) continue;
       events.push_back(
@@ -141,11 +150,15 @@ void World::execute(const Event& e) {
                        e.source_id < static_cast<int>(sources_.size()),
                    "bad delivery source " << e.source_id);
       BLUNT_ASSERT(!crashed(e.pid), "delivery to crashed process");
-      trace_.append({.pid = e.pid,
-                     .kind = StepKind::kDeliver,
-                     .what = e.what,
-                     .inv = -1,
-                     .value = {}});
+      if (trace_.recording()) {
+        trace_.append({.pid = e.pid,
+                       .kind = StepKind::kDeliver,
+                       .what = std::string(e.what),
+                       .inv = -1,
+                       .value = {}});
+      } else {
+        trace_.skip();
+      }
       count_step(StepKind::kDeliver);
       sources_[e.source_id]->deliver(e.msg_id);
       break;
@@ -160,22 +173,30 @@ void World::execute(const Event& e) {
       s.parked = {};
       s.wait_pred = nullptr;
       ++crashes_used_;
-      trace_.append({.pid = e.pid,
-                     .kind = StepKind::kCrash,
-                     .what = "crash",
-                     .inv = -1,
-                     .value = {}});
+      if (trace_.recording()) {
+        trace_.append({.pid = e.pid,
+                       .kind = StepKind::kCrash,
+                       .what = "crash",
+                       .inv = -1,
+                       .value = {}});
+      } else {
+        trace_.skip();
+      }
       count_step(StepKind::kCrash);
       for (DeliverySource* src : sources_) src->on_crash(e.pid);
       break;
     }
     case Event::Kind::kTick: {
       BLUNT_ASSERT(fault_layer_ != nullptr, "tick without a fault layer");
-      trace_.append({.pid = -1,
-                     .kind = StepKind::kTick,
-                     .what = e.what,
-                     .inv = -1,
-                     .value = {}});
+      if (trace_.recording()) {
+        trace_.append({.pid = -1,
+                       .kind = StepKind::kTick,
+                       .what = std::string(e.what),
+                       .inv = -1,
+                       .value = {}});
+      } else {
+        trace_.skip();
+      }
       count_step(StepKind::kTick);
       break;
     }
@@ -188,11 +209,15 @@ void World::resume_slot(Pid pid) {
   std::coroutine_handle<> h;
   switch (s.state) {
     case ProcState::kNotStarted:
-      trace_.append({.pid = pid,
-                     .kind = StepKind::kSpawn,
-                     .what = s.name,
-                     .inv = -1,
-                     .value = {}});
+      if (trace_.recording()) {
+        trace_.append({.pid = pid,
+                       .kind = StepKind::kSpawn,
+                       .what = trace_.wants_what() ? s.name : std::string(),
+                       .inv = -1,
+                       .value = {}});
+      } else {
+        trace_.skip();
+      }
       count_step(StepKind::kSpawn);
       h = s.root.handle();
       break;
@@ -200,11 +225,19 @@ void World::resume_slot(Pid pid) {
       if (s.pending_random_n > 0) {
         s.random_value = coins_->next(s.pending_random_n);
         ++random_draws_;
-        trace_.append({.pid = pid,
-                       .kind = StepKind::kRandom,
-                       .what = s.pending_what,
-                       .inv = s.pending_inv,
-                       .value = Value(std::int64_t{s.random_value})});
+        // pending_what is read before h.resume(): the borrowed label is
+        // still alive while the process is parked.
+        if (trace_.recording()) {
+          trace_.append({.pid = pid,
+                         .kind = StepKind::kRandom,
+                         .what = trace_.wants_what()
+                                     ? std::string(s.pending_what)
+                                     : std::string(),
+                         .inv = s.pending_inv,
+                         .value = Value(std::int64_t{s.random_value})});
+        } else {
+          trace_.skip();
+        }
         count_step(StepKind::kRandom);
         if (metrics_) random_draw_counter_->inc();
       } else {
@@ -218,11 +251,16 @@ void World::resume_slot(Pid pid) {
       BLUNT_ASSERT(s.wait_pred && s.wait_pred(),
                    "resumed a blocked process whose predicate does not hold; "
                    "wait predicates must be monotone");
-      trace_.append({.pid = pid,
-                     .kind = StepKind::kWaitResume,
-                     .what = s.pending_what,
-                     .inv = s.pending_inv,
-                     .value = {}});
+      if (trace_.recording()) {
+        trace_.append({.pid = pid,
+                       .kind = StepKind::kWaitResume,
+                       .what = trace_.wants_what() ? std::string(s.pending_what)
+                                                   : std::string(),
+                       .inv = s.pending_inv,
+                       .value = {}});
+      } else {
+        trace_.skip();
+      }
       count_step(StepKind::kWaitResume);
       h = s.parked;
       break;
@@ -258,11 +296,11 @@ std::string World::describe_stuck() const {
         break;
       case ProcState::kReady:
         out += "p" + std::to_string(pid) + " (" + s.name +
-               "): ready, next step '" + s.pending_what + "'\n";
+               "): ready, next step '" + std::string(s.pending_what) + "'\n";
         break;
       case ProcState::kBlocked:
         out += "p" + std::to_string(pid) + " (" + s.name + "): blocked on '" +
-               s.pending_what + "' (predicate " +
+               std::string(s.pending_what) + "' (predicate " +
                (s.wait_pred && s.wait_pred() ? "holds" : "does not hold") +
                ")\n";
         break;
@@ -291,16 +329,20 @@ std::string World::describe_stuck() const {
 RunResult World::run(Adversary& adv) {
   while (sched_steps_ < cfg_.max_steps) {
     if (finished()) return {RunStatus::kCompleted, sched_steps_, {}};
-    const std::vector<Event> events = enabled_events();
+    const std::vector<Event>& events = enabled_events();
     if (events.empty()) {
       RunResult r{RunStatus::kDeadlock, sched_steps_, {}};
       if (cfg_.deadlock_diagnostics) {
         r.deadlock_detail = describe_stuck();
-        trace_.append({.pid = -1,
-                       .kind = StepKind::kLocal,
-                       .what = "deadlock:\n" + r.deadlock_detail,
-                       .inv = -1,
-                       .value = {}});
+        if (trace_.recording()) {
+          trace_.append({.pid = -1,
+                         .kind = StepKind::kLocal,
+                         .what = "deadlock:\n" + r.deadlock_detail,
+                         .inv = -1,
+                         .value = {}});
+        } else {
+          trace_.skip();
+        }
       }
       return r;
     }
@@ -327,12 +369,17 @@ InvocationId World::begin_invocation(Pid pid, int object_id,
   rec.method = std::move(method);
   rec.argument = std::move(argument);
   rec.per_process_seq = per_process_invocations_[pid]++;
+  rec.call_sched_step = trace_.sched_step();
   rec.call_index =
-      trace_.append({.pid = pid,
-                     .kind = StepKind::kCall,
-                     .what = rec.object_name + "." + rec.method,
-                     .inv = id,
-                     .value = rec.argument});
+      trace_.recording()
+          ? trace_.append({.pid = pid,
+                           .kind = StepKind::kCall,
+                           .what = trace_.wants_what()
+                                       ? rec.object_name + "." + rec.method
+                                       : std::string(),
+                           .inv = id,
+                           .value = rec.argument})
+          : trace_.skip();
   invocations_.push_back(std::move(rec));
   return id;
 }
@@ -344,19 +391,20 @@ void World::end_invocation(InvocationId id, Value result) {
   BLUNT_ASSERT(rec.return_index < 0, "invocation " << id << " ended twice");
   rec.result = result;
   rec.return_index =
-      trace_.append({.pid = rec.pid,
-                     .kind = StepKind::kReturn,
-                     .what = rec.object_name + "." + rec.method,
-                     .inv = id,
-                     .value = std::move(result)});
+      trace_.recording()
+          ? trace_.append({.pid = rec.pid,
+                           .kind = StepKind::kReturn,
+                           .what = trace_.wants_what()
+                                       ? rec.object_name + "." + rec.method
+                                       : std::string(),
+                           .inv = id,
+                           .value = std::move(result)})
+          : trace_.skip();
   if (metrics_) {
-    // Call-to-return latency in scheduler steps, read off the trace stamps.
-    const auto& entries = trace_.entries();
-    const int call_step =
-        entries[static_cast<std::size_t>(rec.call_index)].sched_step;
-    const int return_step =
-        entries[static_cast<std::size_t>(rec.return_index)].sched_step;
-    inv_latency_->observe(static_cast<double>(return_step - call_step));
+    // Call-to-return latency in scheduler steps, off the recorded call step
+    // (not the trace entries, which kNone does not store).
+    inv_latency_->observe(
+        static_cast<double>(trace_.sched_step() - rec.call_sched_step));
   }
 }
 
@@ -365,38 +413,43 @@ void World::mark_line(InvocationId id, int line) {
                "bad invocation id " << id);
   InvocationRecord& rec = invocations_[id];
   rec.max_line_passed = std::max(rec.max_line_passed, line);
-  const int idx = trace_.append({.pid = rec.pid,
-                                 .kind = StepKind::kLocal,
-                                 .what = "@line " + std::to_string(line),
-                                 .inv = id,
-                                 .value = Value(std::int64_t{line})});
+  const int idx =
+      trace_.recording()
+          ? trace_.append({.pid = rec.pid,
+                           .kind = StepKind::kLocal,
+                           .what = trace_.wants_what()
+                                       ? "@line " + std::to_string(line)
+                                       : std::string(),
+                           .inv = id,
+                           .value = Value(std::int64_t{line})})
+          : trace_.skip();
   rec.line_passes.emplace_back(line, idx);
 }
 
 void World::park(Pid pid, std::coroutine_handle<> h, StepKind kind,
-                 std::string what, InvocationId inv) {
+                 std::string_view what, InvocationId inv) {
   Slot& s = slots_[pid];
   BLUNT_ASSERT(s.state == ProcState::kRunning,
                "park from a process that is not running");
   s.parked = h;
   s.state = ProcState::kReady;
   s.pending_kind = kind;
-  s.pending_what = std::move(what);
+  s.pending_what = what;
   s.pending_inv = inv;
   s.pending_random_n = 0;
   s.wait_pred = nullptr;
 }
 
 void World::park_random(Pid pid, std::coroutine_handle<> h, int n,
-                        std::string what, InvocationId inv) {
-  park(pid, h, StepKind::kRandom, std::move(what), inv);
+                        std::string_view what, InvocationId inv) {
+  park(pid, h, StepKind::kRandom, what, inv);
   slots_[pid].pending_random_n = n;
 }
 
 void World::park_wait(Pid pid, std::coroutine_handle<> h,
-                      std::function<bool()> pred, std::string what,
+                      std::function<bool()> pred, std::string_view what,
                       InvocationId inv) {
-  park(pid, h, StepKind::kWaitResume, std::move(what), inv);
+  park(pid, h, StepKind::kWaitResume, what, inv);
   Slot& s = slots_[pid];
   s.state = ProcState::kBlocked;
   s.wait_pred = std::move(pred);

@@ -27,6 +27,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -61,6 +62,13 @@ struct Config {
   /// RunResult::deadlock_detail and append it to the trace. On by default;
   /// the cost is paid only on the deadlock path.
   bool deadlock_diagnostics = true;
+  /// How much of the trace to materialize (see TraceDetail). The default,
+  /// kFull, reproduces the historical byte-identical trace; Monte-Carlo
+  /// experiments run at kNone, which skips every formatted `what` string and
+  /// stores no entries while keeping the execution — event enumeration
+  /// order, adversary choices, coin draws, metrics — bit-identical
+  /// (hotpath_determinism_test holds this to golden values).
+  TraceDetail trace_detail = TraceDetail::kFull;
 };
 
 enum class RunStatus {
@@ -92,17 +100,22 @@ class Proc {
     return *world_;
   }
 
-  // Awaitables (definitions below World).
+  // Awaitables (definitions below World). `what` labels are borrowed, not
+  // copied: a view into a string literal, a long-lived object label, or a
+  // temporary materialized inside the co_await full-expression — all of
+  // which live in the coroutine frame across the suspension, so the parked
+  // slot's view stays valid until the process resumes.
   /// One adversary-schedulable step; the code after `co_await` runs when the
   /// adversary resumes this process.
-  [[nodiscard]] auto yield(StepKind kind, std::string what,
+  [[nodiscard]] auto yield(StepKind kind, std::string_view what,
                            InvocationId inv = -1);
   /// A random(V) step with |V| = n; returns the sampled index in [0, n).
-  [[nodiscard]] auto random(int n, std::string what, InvocationId inv = -1);
+  [[nodiscard]] auto random(int n, std::string_view what,
+                            InvocationId inv = -1);
   /// Blocks until `pred` holds, then takes one step. `pred` must be monotone
   /// (once true, stays true until the process is resumed) — quorum waits are.
-  [[nodiscard]] auto wait_until(std::function<bool()> pred, std::string what,
-                                InvocationId inv = -1);
+  [[nodiscard]] auto wait_until(std::function<bool()> pred,
+                                std::string_view what, InvocationId inv = -1);
 
  private:
   World* world_ = nullptr;
@@ -155,8 +168,11 @@ class World {
 
   /// Enumerates enabled events in canonical order: process resumptions by
   /// ascending pid, then deliveries by (source id, message id), then crashes
-  /// by ascending pid.
-  [[nodiscard]] std::vector<Event> enabled_events() const;
+  /// by ascending pid. Returns a reference into a member buffer reused
+  /// across scheduler steps (the run loop's zero-allocation fast path); the
+  /// events — and the string_views inside them — are valid until the next
+  /// enabled_events() call. Callers that keep events longer must copy.
+  [[nodiscard]] const std::vector<Event>& enabled_events() const;
   /// Executes one enabled event (must come from enabled_events()).
   void execute(const Event& e);
   /// True iff every process is done or crashed.
@@ -172,6 +188,10 @@ class World {
   }
   [[nodiscard]] const Trace& trace() const { return trace_; }
   [[nodiscard]] Trace& trace_mutable() { return trace_; }
+  /// True at full trace detail: instrumentation sites (networks, objects,
+  /// the fault layer) consult this before formatting `what` labels so the
+  /// reduced levels pay no string cost on the step path.
+  [[nodiscard]] bool wants_what() const { return trace_.wants_what(); }
   [[nodiscard]] const std::vector<InvocationRecord>& invocations() const {
     return invocations_;
   }
@@ -210,11 +230,11 @@ class World {
   //    API) --
 
   void park(Pid pid, std::coroutine_handle<> h, StepKind kind,
-            std::string what, InvocationId inv);
-  void park_random(Pid pid, std::coroutine_handle<> h, int n, std::string what,
-                   InvocationId inv);
+            std::string_view what, InvocationId inv);
+  void park_random(Pid pid, std::coroutine_handle<> h, int n,
+                   std::string_view what, InvocationId inv);
   void park_wait(Pid pid, std::coroutine_handle<> h,
-                 std::function<bool()> pred, std::string what,
+                 std::function<bool()> pred, std::string_view what,
                  InvocationId inv);
   [[nodiscard]] int drawn_random_value(Pid pid) const;
 
@@ -237,7 +257,9 @@ class World {
     std::coroutine_handle<> parked;
     ProcState state = ProcState::kNotStarted;
     StepKind pending_kind = StepKind::kLocal;
-    std::string pending_what;
+    // Borrowed from the awaiter (see Proc::yield): valid while parked, read
+    // only before the coroutine resumes.
+    std::string_view pending_what;
     InvocationId pending_inv = -1;
     std::function<bool()> wait_pred;
     int pending_random_n = 0;  // > 0: next resume draws a coin
@@ -260,6 +282,10 @@ class World {
   obs::Histogram* inv_latency_ = nullptr;
   std::vector<Slot> slots_;
   std::vector<DeliverySource*> sources_;
+  // Reused by enabled_events(): the event list and one pending-delivery
+  // buffer per source, so steady-state enumeration allocates nothing.
+  mutable std::vector<Event> events_buf_;
+  mutable std::vector<std::vector<PendingDelivery>> pending_bufs_;
   std::vector<std::string> object_names_;
   Trace trace_;
   std::vector<InvocationRecord> invocations_;
@@ -273,16 +299,22 @@ class World {
 
 namespace detail {
 
+// The `what` views below are safe across suspension: when a caller passes a
+// temporary std::string built inside the co_await full-expression, that
+// temporary is stored in the coroutine frame and is not destroyed until the
+// full-expression completes — i.e. after the process has been resumed — so
+// the parked Slot's borrowed view never dangles.
+
 struct StepAwaiter {
   World* w;
   Pid pid;
   StepKind kind;
-  std::string what;
+  std::string_view what;
   InvocationId inv;
 
   [[nodiscard]] bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    w->park(pid, h, kind, std::move(what), inv);
+    w->park(pid, h, kind, what, inv);
   }
   void await_resume() const noexcept {}
 };
@@ -291,12 +323,12 @@ struct RandomAwaiter {
   World* w;
   Pid pid;
   int n;
-  std::string what;
+  std::string_view what;
   InvocationId inv;
 
   [[nodiscard]] bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    w->park_random(pid, h, n, std::move(what), inv);
+    w->park_random(pid, h, n, what, inv);
   }
   [[nodiscard]] int await_resume() const { return w->drawn_random_value(pid); }
 };
@@ -305,31 +337,31 @@ struct WaitAwaiter {
   World* w;
   Pid pid;
   std::function<bool()> pred;
-  std::string what;
+  std::string_view what;
   InvocationId inv;
 
   [[nodiscard]] bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    w->park_wait(pid, h, std::move(pred), std::move(what), inv);
+    w->park_wait(pid, h, std::move(pred), what, inv);
   }
   void await_resume() const noexcept {}
 };
 
 }  // namespace detail
 
-inline auto Proc::yield(StepKind kind, std::string what, InvocationId inv) {
-  return detail::StepAwaiter{&world(), pid_, kind, std::move(what), inv};
+inline auto Proc::yield(StepKind kind, std::string_view what,
+                        InvocationId inv) {
+  return detail::StepAwaiter{&world(), pid_, kind, what, inv};
 }
 
-inline auto Proc::random(int n, std::string what, InvocationId inv) {
+inline auto Proc::random(int n, std::string_view what, InvocationId inv) {
   BLUNT_ASSERT(n >= 1, "random(V) needs |V| >= 1");
-  return detail::RandomAwaiter{&world(), pid_, n, std::move(what), inv};
+  return detail::RandomAwaiter{&world(), pid_, n, what, inv};
 }
 
-inline auto Proc::wait_until(std::function<bool()> pred, std::string what,
+inline auto Proc::wait_until(std::function<bool()> pred, std::string_view what,
                              InvocationId inv) {
-  return detail::WaitAwaiter{&world(), pid_, std::move(pred), std::move(what),
-                             inv};
+  return detail::WaitAwaiter{&world(), pid_, std::move(pred), what, inv};
 }
 
 }  // namespace blunt::sim

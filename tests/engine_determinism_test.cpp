@@ -249,11 +249,11 @@ TEST(BuiltinExperiments, Theorem42MetricsThreadCountIndependent) {
             rb.to_json().at("registry").dump());
 }
 
-TEST(BuiltinExperiments, AllFiveAreRegistered) {
+TEST(BuiltinExperiments, AllSixAreRegistered) {
   register_builtin_experiments();
   for (const char* name :
        {"theorem42_bound", "abd_k_sweep", "chaos_soak", "equivalence_soak",
-        "snapshot_blunting"}) {
+        "snapshot_blunting", "hotpath"}) {
     EXPECT_NE(find_experiment(name), nullptr) << name;
   }
   EXPECT_EQ(find_experiment("nope"), nullptr);

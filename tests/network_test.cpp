@@ -27,7 +27,7 @@ TEST(Network, SendEnqueuesDeliverRuns) {
   net.send(0, 1, {7});
   EXPECT_EQ(net.in_transit_count(), 1);
   std::vector<sim::PendingDelivery> pending;
-  net.enumerate(pending);
+  net.enumerate(pending, true);
   ASSERT_EQ(pending.size(), 1u);
   EXPECT_EQ(pending[0].to, 1);
   net.deliver(pending[0].msg_id);
@@ -43,7 +43,7 @@ TEST(Network, AdversaryMayReorder) {
   net.send(0, 1, {2});
   net.send(0, 1, {3});
   std::vector<sim::PendingDelivery> pending;
-  net.enumerate(pending);
+  net.enumerate(pending, true);
   ASSERT_EQ(pending.size(), 3u);
   // Deliver in reverse.
   net.deliver(pending[2].msg_id);
@@ -63,7 +63,7 @@ TEST(Network, BroadcastIncludesSelf) {
   net.broadcast(1, {5});
   EXPECT_EQ(net.in_transit_count(), 3);
   std::vector<sim::PendingDelivery> pending;
-  net.enumerate(pending);
+  net.enumerate(pending, true);
   for (const auto& d : pending) net.deliver(d.msg_id);
   EXPECT_EQ(recipients, (std::vector<Pid>{0, 1, 2}));
 }
@@ -78,11 +78,11 @@ TEST(Network, HandlerMaySendMore) {
   });
   net.send(0, 1, {10});
   std::vector<sim::PendingDelivery> pending;
-  net.enumerate(pending);
+  net.enumerate(pending, true);
   net.deliver(pending[0].msg_id);
   EXPECT_EQ(net.in_transit_count(), 1);  // the reply
   pending.clear();
-  net.enumerate(pending);
+  net.enumerate(pending, true);
   net.deliver(pending[0].msg_id);
   EXPECT_EQ(p0_got, 11);
 }
@@ -104,7 +104,7 @@ TEST(Network, CrashedSendersMessagesSurvive) {
   net.send(0, 1, {9});
   net.on_crash(0);  // sender crashes; its message is already in flight
   std::vector<sim::PendingDelivery> pending;
-  net.enumerate(pending);
+  net.enumerate(pending, true);
   ASSERT_EQ(pending.size(), 1u);
   net.deliver(pending[0].msg_id);
   EXPECT_EQ(got, 9);
@@ -121,7 +121,7 @@ TEST(Network, CrashedSenderInjectsNothing) {
   EXPECT_EQ(net.in_transit_count(), 0);
   EXPECT_EQ(net.messages_sent(), 1);  // counted as attempted, then dropped
   std::vector<sim::PendingDelivery> pending;
-  net.enumerate(pending);
+  net.enumerate(pending, true);
   EXPECT_TRUE(pending.empty());
 }
 
@@ -131,7 +131,7 @@ TEST(Network, CountersTrackTraffic) {
   net.broadcast(0, {1});
   EXPECT_EQ(net.messages_sent(), 3);
   std::vector<sim::PendingDelivery> pending;
-  net.enumerate(pending);
+  net.enumerate(pending, true);
   net.deliver(pending[0].msg_id);
   EXPECT_EQ(net.messages_delivered(), 1);
 }

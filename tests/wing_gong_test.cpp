@@ -182,5 +182,55 @@ TEST(WingGong, CheckAllObjectsSplitsByObject) {
       h, [&spec](int id) { return id == 0 ? &spec : nullptr; }, nullptr));
 }
 
+TEST(WingGong, CheckAllObjectsReportsSmallestBadObjectId) {
+  // Two independently non-linearizable objects: iteration is in ascending
+  // object-id order, so the failure report must name object 1, never 2 —
+  // regardless of the order ops appear in the history.
+  std::vector<Operation> ops;
+  for (int obj : {2, 1}) {  // larger id first in the op list, deliberately
+    Operation bad;
+    bad.id = 10 + obj;
+    bad.pid = 0;
+    bad.object_id = obj;
+    bad.object_name = obj == 1 ? "b" : "c";
+    bad.method = "Read";
+    bad.result = sim::Value(std::int64_t{42});  // never written
+    bad.call_pos = 2 * obj;
+    bad.ret_pos = 2 * obj + 1;
+    ops.push_back(bad);
+  }
+  const History h{ops};
+  RegisterSpec spec;
+  std::string why;
+  EXPECT_FALSE(check_all_objects(
+      h, [&spec](int) { return &spec; }, &why));
+  EXPECT_NE(why.find("object 1"), std::string::npos);
+  EXPECT_EQ(why.find("object 2"), std::string::npos);
+}
+
+TEST(WingGong, ValidateLinearizationLongHistory) {
+  // ~200 sequential ops on one process: exercises the de-quadratic
+  // precedence pass in validate_linearization (the checker itself is capped
+  // at 62 ops, the validator is not).
+  constexpr int kRounds = 100;  // 200 ops total
+  test::HistoryBuilder hb;
+  std::vector<InvocationId> order;
+  int pos = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    order.push_back(hb.write(0, i, pos, pos + 1));
+    pos += 2;
+    order.push_back(hb.read(0, i, pos, pos + 1));
+    pos += 2;
+  }
+  const History h = hb.build();
+  std::string why;
+  EXPECT_TRUE(validate_linearization(h, bottom_reg, order, &why)) << why;
+  // Swapping two non-adjacent completed ops breaks real-time precedence.
+  std::vector<InvocationId> swapped = order;
+  std::swap(swapped[10], swapped[150]);
+  EXPECT_FALSE(validate_linearization(h, bottom_reg, swapped, &why));
+  EXPECT_NE(why.find("precedence"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace blunt::lin
