@@ -11,6 +11,7 @@ namespace {
 
 const BernoulliEstimator kEmptyTally;
 const RunningStats kEmptyStats;
+const obs::CoverageMap kEmptyCoverage;
 
 }  // namespace
 
@@ -30,10 +31,16 @@ std::int64_t Accumulator::counter_or(const std::string& name,
   return it == counters_.end() ? fallback : it->second;
 }
 
+const obs::CoverageMap& Accumulator::coverage(const std::string& name) const {
+  const auto it = coverage_.find(name);
+  return it == coverage_.end() ? kEmptyCoverage : it->second;
+}
+
 void Accumulator::merge(const Accumulator& other) {
   for (const auto& [name, t] : other.tallies_) tallies_[name].merge(t);
   for (const auto& [name, s] : other.stats_) stats_[name].merge(s);
   for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, c] : other.coverage_) coverage_[name].merge(c);
   registry_.merge(other.registry_);
 }
 
@@ -58,10 +65,15 @@ obs::Json Accumulator::to_json() const {
   }
   obs::JsonObject counters;
   for (const auto& [name, v] : counters_) counters[name] = obs::Json(v);
+  // Coverage sets serialize as sorted fixed-width hex arrays (canonical —
+  // insertion history never leaks into the bytes; uint64 survives exactly).
+  obs::JsonObject coverage;
+  for (const auto& [name, c] : coverage_) coverage[name] = c.to_json();
   obs::JsonObject out;
   out["tallies"] = obs::Json(std::move(tallies));
   out["stats"] = obs::Json(std::move(stats));
   out["counters"] = obs::Json(std::move(counters));
+  out["coverage"] = obs::Json(std::move(coverage));
   out["registry"] = obs::snapshot_to_json(registry_);
   return obs::Json(std::move(out));
 }
@@ -83,6 +95,13 @@ Accumulator Accumulator::from_json(const obs::Json& j) {
   }
   for (const auto& [name, v] : j.at("counters").as_object()) {
     a.counters_[name] = v.as_int();
+  }
+  // find(), not at(): pre-coverage shard checkpoints lack the key and must
+  // keep resuming cleanly.
+  if (const obs::Json* cov = j.find("coverage")) {
+    for (const auto& [name, c] : cov->as_object()) {
+      a.coverage_[name] = obs::CoverageMap::from_json(c);
+    }
   }
   a.registry_ = obs::snapshot_from_json(j.at("registry"));
   return a;

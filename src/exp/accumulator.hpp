@@ -14,6 +14,10 @@
 //   counters   — named int64 sums, exact;
 //   registry   — an obs::MetricsSnapshot (counters add, histograms
 //                Chan-merge) for trials that run instrumented worlds.
+//   coverage   — named obs::CoverageMaps (execution-fingerprint sets);
+//                merge is set union, which is order-insensitive, and the
+//                canonical serialization (sorted fixed-width hex) makes the
+//                folded set byte-identical for any thread count.
 //
 // The whole accumulator serializes to JSON bit-exactly (doubles dump with
 // shortest-roundtrip precision), which is what makes shard-granular
@@ -26,6 +30,7 @@
 #include <string>
 
 #include "common/stats.hpp"
+#include "obs/coverage.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -38,6 +43,9 @@ class Accumulator {
   RunningStats& stat(const std::string& name) { return stats_[name]; }
   std::int64_t& counter(const std::string& name) { return counters_[name]; }
   obs::MetricsSnapshot& registry() { return registry_; }
+  obs::CoverageMap& coverage(const std::string& name) {
+    return coverage_[name];
+  }
 
   // Read side (finalize hooks run on the merged accumulator). Missing names
   // yield empty/zero components so finalize code never branches on absence.
@@ -58,6 +66,11 @@ class Accumulator {
   [[nodiscard]] const std::map<std::string, std::int64_t>& counters() const {
     return counters_;
   }
+  [[nodiscard]] const obs::CoverageMap& coverage(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, obs::CoverageMap>& coverage_maps()
+      const {
+    return coverage_;
+  }
 
   /// Associative shard merge; see the class comment for exactness.
   void merge(const Accumulator& other);
@@ -70,6 +83,7 @@ class Accumulator {
   std::map<std::string, BernoulliEstimator> tallies_;
   std::map<std::string, RunningStats> stats_;
   std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, obs::CoverageMap> coverage_;
   obs::MetricsSnapshot registry_;
 };
 

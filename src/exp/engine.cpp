@@ -3,14 +3,20 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/assert.hpp"
+#include "exp/progress.hpp"
+#include "obs/coverage.hpp"
 #include "obs/json.hpp"
 
 namespace blunt::exp {
@@ -38,9 +44,13 @@ struct Layout {
 }
 
 /// One shard, run on whichever worker claimed it. The result depends only on
-/// (experiment, layout, shard index).
+/// (experiment, layout, shard index, coverage flag). `trials_done` is
+/// telemetry-only (nullptr when no --progress): the increment is outside
+/// every per-trial computation, so progress reporting cannot perturb trial
+/// results.
 [[nodiscard]] Accumulator run_shard(const Experiment& e, const Layout& l,
-                                    std::int64_t shard) {
+                                    std::int64_t shard, bool coverage,
+                                    std::atomic<std::int64_t>* trials_done) {
   Accumulator acc;
   const std::int64_t begin = shard * l.shard_size;
   const std::int64_t end = std::min(l.trials, begin + l.shard_size);
@@ -50,9 +60,79 @@ struct Layout {
     ctx.experiment_seed = l.seed;
     ctx.trials = l.trials;
     ctx.seed = derive_seed(e.seed_derivation, l.seed, i);
+    ctx.coverage = coverage;
     e.trial(ctx, acc);
+    if (trials_done != nullptr) {
+      trials_done->fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return acc;
+}
+
+// -- Progress telemetry ------------------------------------------------------
+
+/// Worker-side counters the sampler thread reads. Everything is either an
+/// atomic or guarded by cov_mu; the trial bodies themselves never see this
+/// state.
+struct ProgressState {
+  explicit ProgressState(int workers)
+      : steals(static_cast<std::size_t>(workers)) {
+    for (auto& s : steals) s.store(0, std::memory_order_relaxed);
+  }
+  std::atomic<std::int64_t> shards_claimed{0};
+  std::atomic<std::int64_t> shards_done{0};
+  std::atomic<std::int64_t> trials_done{0};
+  std::vector<std::atomic<std::int64_t>> steals;  // executed shards per worker
+  std::mutex cov_mu;
+  obs::CoverageMap cov;  // union of completed shards' fingerprints (all keys)
+
+  [[nodiscard]] std::int64_t coverage_size() {
+    const std::lock_guard<std::mutex> lock(cov_mu);
+    return cov.size();
+  }
+  void add_coverage(const Accumulator& acc) {
+    const std::lock_guard<std::mutex> lock(cov_mu);
+    for (const auto& [name, m] : acc.coverage_maps()) cov.merge(m);
+  }
+};
+
+/// Where and how often heartbeat lines go. The sampler shares the run's
+/// single mutex-guarded writer discipline: it is the only thread that writes
+/// the progress file.
+struct ProgressSink {
+  std::ofstream* out = nullptr;
+  int interval_ms = 500;
+  std::int64_t resumed_shards = 0;
+};
+
+[[nodiscard]] ProgressSample make_progress_sample(
+    const Experiment& e, const Layout& l, int threads, ProgressState& st,
+    const ProgressSink& sink, double t_ms) {
+  ProgressSample s;
+  s.experiment = e.name;
+  s.seed = l.seed;
+  s.threads = threads;
+  s.t_ms = t_ms;
+  s.shards_total = l.num_shards;
+  s.shards_resumed = sink.resumed_shards;
+  s.shards_claimed = st.shards_claimed.load(std::memory_order_relaxed);
+  s.shards_done = st.shards_done.load(std::memory_order_relaxed);
+  s.trials_total = l.trials;
+  s.trials_done = st.trials_done.load(std::memory_order_relaxed);
+  s.trials_per_sec =
+      t_ms > 0.0 ? 1000.0 * static_cast<double>(s.trials_done) / t_ms : 0.0;
+  const std::int64_t resumed_trials =
+      std::min(l.trials, sink.resumed_shards * l.shard_size);
+  const std::int64_t remaining =
+      std::max<std::int64_t>(0, l.trials - resumed_trials - s.trials_done);
+  s.eta_ms = s.trials_per_sec > 0.0
+                 ? 1000.0 * static_cast<double>(remaining) / s.trials_per_sec
+                 : 0.0;
+  s.coverage_size = st.coverage_size();
+  for (const auto& w : st.steals) {
+    s.steals.push_back(w.load(std::memory_order_relaxed));
+  }
+  return s;
 }
 
 // -- Checkpoint I/O ----------------------------------------------------------
@@ -124,13 +204,23 @@ struct PassResult {
   double wall_ms = 0.0;
 };
 
+/// Worker count for a pass — capped by the shard count so steal telemetry
+/// never reports idle phantom workers.
+[[nodiscard]] int pass_workers(const Layout& l, int threads) {
+  return static_cast<int>(std::min<std::int64_t>(
+      std::max(1, threads), std::max<std::int64_t>(1, l.num_shards)));
+}
+
 /// One full pass over the shard space at `threads` workers. `resumed` shards
 /// are folded in without running. When `checkpoint` is non-null, each newly
 /// completed shard is appended through the single mutex-guarded writer.
+/// `progress` (may be null) only receives telemetry writes — it never feeds
+/// back into what a shard computes.
 [[nodiscard]] PassResult run_pass(
     const Experiment& e, const Layout& l, int threads,
     const std::map<std::int64_t, Accumulator>& resumed,
-    std::ofstream* checkpoint, int max_shards) {
+    std::ofstream* checkpoint, int max_shards, bool coverage,
+    ProgressState* progress) {
   PassResult pass;
   pass.shard_accs.resize(static_cast<std::size_t>(l.num_shards));
   for (const auto& [shard, acc] : resumed) {
@@ -143,7 +233,10 @@ struct PassResult {
   std::atomic<bool> stopped{false};
   std::mutex writer_mu;  // the run's single aggregator-side writer
 
-  const auto worker = [&] {
+  std::atomic<std::int64_t>* trials_done =
+      progress != nullptr ? &progress->trials_done : nullptr;
+
+  const auto worker = [&](int wi) {
     for (;;) {
       const std::int64_t s = next_shard.fetch_add(1);
       if (s >= l.num_shards) return;
@@ -161,25 +254,32 @@ struct PassResult {
       } else {
         executed.fetch_add(1);
       }
-      Accumulator acc = run_shard(e, l, s);
+      if (progress != nullptr) {
+        progress->shards_claimed.fetch_add(1, std::memory_order_relaxed);
+      }
+      Accumulator acc = run_shard(e, l, s, coverage, trials_done);
       if (checkpoint != nullptr) {
         const std::lock_guard<std::mutex> lock(writer_mu);
         *checkpoint << shard_line(e, l, s, acc).dump() << '\n';
         checkpoint->flush();
       }
+      if (progress != nullptr) {
+        progress->add_coverage(acc);
+        progress->steals[static_cast<std::size_t>(wi)].fetch_add(
+            1, std::memory_order_relaxed);
+        progress->shards_done.fetch_add(1, std::memory_order_relaxed);
+      }
       pass.shard_accs[static_cast<std::size_t>(s)] = std::move(acc);
     }
   };
 
-  const int workers = static_cast<int>(
-      std::min<std::int64_t>(std::max(1, threads), std::max<std::int64_t>(
-                                                       1, l.num_shards)));
+  const int workers = pass_workers(l, threads);
   if (workers <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
-    for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (int t = 0; t < workers; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
   }
 
@@ -192,12 +292,96 @@ struct PassResult {
 }
 
 /// Post-barrier aggregation: a left fold in ascending shard order — the
-/// fixed merge tree that makes results thread-count-independent.
-[[nodiscard]] Accumulator fold(std::vector<Accumulator> shard_accs) {
+/// fixed merge tree that makes results thread-count-independent. When
+/// `growth` is non-null, records the cumulative unique-fingerprint count per
+/// coverage key after each shard merges — the coverage-growth curve, computed
+/// inside the same fixed fold so it inherits its thread-count independence.
+[[nodiscard]] Accumulator fold(
+    std::vector<Accumulator> shard_accs,
+    std::map<std::string, std::vector<std::int64_t>>* growth = nullptr) {
+  std::set<std::string> keys;
+  if (growth != nullptr) {
+    for (const Accumulator& acc : shard_accs) {
+      for (const auto& [name, m] : acc.coverage_maps()) keys.insert(name);
+    }
+  }
   Accumulator merged;
-  for (const Accumulator& acc : shard_accs) merged.merge(acc);
+  for (const Accumulator& acc : shard_accs) {
+    merged.merge(acc);
+    if (growth != nullptr) {
+      for (const std::string& k : keys) {
+        (*growth)[k].push_back(
+            static_cast<std::int64_t>(merged.coverage(k).size()));
+      }
+    }
+  }
   return merged;
 }
+
+/// The sampler thread: appends one heartbeat line per interval until told to
+/// stop. Owned by run_trials; lives strictly outside the worker barrier's
+/// data (it only reads ProgressState).
+class ProgressSampler {
+ public:
+  ProgressSampler(const Experiment& e, const Layout& l, int threads,
+                  ProgressState& st, const ProgressSink& sink)
+      : e_(e), l_(l), threads_(threads), st_(st), sink_(sink) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ProgressSampler(const ProgressSampler&) = delete;
+  ProgressSampler& operator=(const ProgressSampler&) = delete;
+
+  /// Stops sampling and writes the final done=true record.
+  void finish(bool complete) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    ProgressSample s =
+        make_progress_sample(e_, l_, threads_, st_, sink_, elapsed_ms());
+    s.done = true;
+    s.complete = complete;
+    write(s);
+  }
+
+ private:
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+  void write(const ProgressSample& s) {
+    *sink_.out << progress_to_json(s).dump() << '\n';
+    sink_.out->flush();
+  }
+
+  void loop() {
+    const auto interval =
+        std::chrono::milliseconds(std::max(10, sink_.interval_ms));
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, interval, [this] { return stop_; })) return;
+      lock.unlock();
+      write(make_progress_sample(e_, l_, threads_, st_, sink_, elapsed_ms()));
+      lock.lock();
+    }
+  }
+
+  const Experiment& e_;
+  const Layout& l_;
+  int threads_;
+  ProgressState& st_;
+  ProgressSink sink_;
+  std::chrono::steady_clock::time_point t0_ = std::chrono::steady_clock::now();
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -215,9 +399,36 @@ RunOutput run_trials(const Experiment& e, const RunOptions& opts) {
                  "cannot open checkpoint " << opts.checkpoint_path);
   }
 
+  // Telemetry plumbing: the counters always exist when a progress file was
+  // requested; trial bodies never see them. The sampler starts before the
+  // pass and stops (writing the final done=true record) right after it.
+  std::unique_ptr<ProgressState> progress;
+  std::ofstream progress_out;
+  std::unique_ptr<ProgressSampler> sampler;
+  if (!opts.progress_path.empty()) {
+    progress = std::make_unique<ProgressState>(pass_workers(l, opts.threads));
+    for (const auto& [shard, acc] : resumed) progress->add_coverage(acc);
+    progress_out.open(opts.progress_path, std::ios::app);
+    BLUNT_ASSERT(progress_out.good(),
+                 "cannot open progress file " << opts.progress_path);
+    ProgressSink sink;
+    sink.out = &progress_out;
+    sink.interval_ms = opts.progress_interval_ms;
+    sink.resumed_shards = static_cast<std::int64_t>(resumed.size());
+    sampler = std::make_unique<ProgressSampler>(e, l, std::max(1, opts.threads),
+                                                *progress, sink);
+  }
+
   PassResult main_pass = run_pass(
       e, l, opts.threads, resumed,
-      opts.checkpoint_path.empty() ? nullptr : &checkpoint_out, opts.max_shards);
+      opts.checkpoint_path.empty() ? nullptr : &checkpoint_out, opts.max_shards,
+      opts.coverage, progress.get());
+
+  if (sampler != nullptr) {
+    sampler->finish(main_pass.complete);
+    sampler.reset();
+    progress_out.close();
+  }
 
   RunOutput out;
   out.info.trials = l.trials;
@@ -229,7 +440,9 @@ RunOutput run_trials(const Experiment& e, const RunOptions& opts) {
   out.info.shards_executed = main_pass.shards_executed;
   out.info.wall_ms = main_pass.wall_ms;
   out.info.complete = main_pass.complete;
-  out.merged = fold(std::move(main_pass.shard_accs));
+  out.info.coverage = opts.coverage;
+  out.merged = fold(std::move(main_pass.shard_accs),
+                    opts.coverage ? &out.info.coverage_growth : nullptr);
 
   if (!opts.checkpoint_path.empty()) {
     checkpoint_out.close();
@@ -242,7 +455,8 @@ RunOutput run_trials(const Experiment& e, const RunOptions& opts) {
   if (main_pass.complete && !opts.timing_sweep.empty()) {
     const std::string want = out.merged.to_json().dump();
     for (const int t : opts.timing_sweep) {
-      PassResult sweep = run_pass(e, l, t, {}, nullptr, 0);
+      PassResult sweep = run_pass(e, l, t, {}, nullptr, 0, opts.coverage,
+                                  nullptr);
       out.info.sweep_wall_ms.emplace_back(std::max(1, t), sweep.wall_ms);
       // Built-in determinism self-check: every thread count must produce
       // the same merged bits.

@@ -60,6 +60,17 @@ struct RunOptions {
   /// RunInfo::sweep_wall_ms, and asserts the merged result is bit-identical
   /// to the main pass — a built-in determinism self-check.
   std::vector<int> timing_sweep;
+  /// Execution-coverage opt-in: sets TrialContext::coverage so trial bodies
+  /// record fingerprints, and makes the fold compute the shard-indexed
+  /// coverage-growth curve (RunInfo::coverage_growth). Off by default —
+  /// coverage must cost nothing when unused.
+  bool coverage = false;
+  /// Non-empty: append heartbeat JSONL records (exp/progress.hpp) to this
+  /// file from a sampler thread that only reads worker-side atomics — the
+  /// merged result is bit-identical with or without progress reporting.
+  std::string progress_path;
+  /// Sampler cadence for progress_path (clamped to >= 10).
+  int progress_interval_ms = 500;
 };
 
 struct RunOutput {

@@ -86,6 +86,47 @@ StepsTiming time_steps(int k, int runs) {
   return t;
 }
 
+struct CovStepsTiming {
+  std::int64_t steps = 0;
+  std::int64_t unique_schedules = 0;
+  double wall_ms = 0.0;
+};
+
+/// The same timed loop as time_steps but with coverage instrumentation on:
+/// the adversary wrapped in obs::ScheduleFingerprinter and every run's
+/// schedule hash inserted into a CoverageMap. The step total MUST equal the
+/// uninstrumented loop's (the wrapper is choice-transparent); the wall-clock
+/// ratio against it is the measured coverage overhead, which CI's Release
+/// gate bounds at 10%.
+CovStepsTiming time_steps_coverage(int k, int runs) {
+  {  // warmup, outside the clock
+    adversary::McInstance inst =
+        make_abd_weakener(999, k, kWeakenerNumProcesses,
+                          /*metrics=*/false, sim::TraceDetail::kNone);
+    sim::UniformAdversary adv(999);
+    obs::ScheduleFingerprinter fp(adv);
+    (void)inst.world->run(fp);
+  }
+  CovStepsTiming t;
+  obs::CoverageMap schedules;
+  const double t0 = now_ms();
+  for (int i = 0; i < runs; ++i) {
+    adversary::McInstance inst = make_abd_weakener(
+        static_cast<std::uint64_t>(i) * 2 + 1, k, kWeakenerNumProcesses,
+        /*metrics=*/false, sim::TraceDetail::kNone);
+    sim::UniformAdversary adv(static_cast<std::uint64_t>(i) * 2 + 2);
+    obs::ScheduleFingerprinter fp(adv);
+    const sim::RunResult res = inst.world->run(fp);
+    BLUNT_ASSERT(res.status == sim::RunStatus::kCompleted,
+                 "hotpath coverage weakener run did not complete");
+    t.steps += res.steps;
+    schedules.insert(fp.schedule_hash());
+  }
+  t.wall_ms = now_ms() - t0;
+  t.unique_schedules = static_cast<std::int64_t>(schedules.size());
+  return t;
+}
+
 /// A chaos-soak-shaped ABD history: 3 processes each write then read,
 /// `ops_per_proc` rounds, scheduled uniformly at random.
 lin::History make_lin_sample(int ops_per_proc, std::uint64_t seed) {
@@ -161,11 +202,17 @@ int finalize(obs::BenchReport& report, const Accumulator& acc,
 
   const StepsTiming s1 = time_steps(1, kStepRunsK1);
   const StepsTiming s2 = time_steps(2, kStepRunsK2);
+  const CovStepsTiming c1 = time_steps_coverage(1, kStepRunsK1);
   const LinTiming lt = time_lin(kLinIterations);
 
   const double sps1 = 1000.0 * static_cast<double>(s1.steps) / s1.wall_ms;
   const double sps2 = 1000.0 * static_cast<double>(s2.steps) / s2.wall_ms;
+  const double sps1_cov = 1000.0 * static_cast<double>(c1.steps) / c1.wall_ms;
   const double cps = 1000.0 * static_cast<double>(lt.checks) / lt.wall_ms;
+
+  BLUNT_ASSERT(c1.steps == s1.steps,
+               "coverage instrumentation changed the k=1 execution: "
+                   << c1.steps << " != " << s1.steps);
 
   print_rule();
   std::printf("%-34s %12s %10s %14s\n", "workload", "work", "wall ms",
@@ -177,6 +224,11 @@ int finalize(obs::BenchReport& report, const Accumulator& acc,
   std::printf("%-34s %12lld %10.1f %14.0f\n",
               "scheduler steps, weakener ABD^2",
               static_cast<long long>(s2.steps), s2.wall_ms, sps2);
+  std::printf("%-34s %12lld %10.1f %14.0f   (%.1f%% overhead, %lld schedules)\n",
+              "steps ABD^1 + coverage fingerprints",
+              static_cast<long long>(c1.steps), c1.wall_ms, sps1_cov,
+              100.0 * (c1.wall_ms - s1.wall_ms) / s1.wall_ms,
+              static_cast<long long>(c1.unique_schedules));
   std::printf("%-34s %12lld %10.1f %14.0f\n", "Wing-Gong checks, ABD histories",
               static_cast<long long>(lt.checks), lt.wall_ms, cps);
   print_rule();
@@ -199,6 +251,11 @@ int finalize(obs::BenchReport& report, const Accumulator& acc,
   report.set_metric_int("mc_steps_k2", acc.counter_or("k2.steps"));
   report.set_metric_int("mc_runs_k1", acc.counter_or("k1.runs"));
   report.set_metric_int("mc_runs_k2", acc.counter_or("k2.runs"));
+  // Coverage-instrumented twin of the k=1 loop: the step total must be
+  // bit-identical (asserted above) and the unique-schedule count is a pure
+  // function of the fixed seed sequence, so both are exact metrics.
+  report.set_metric_int("steps_total_k1_cov", c1.steps);
+  report.set_metric_int("cov_unique_schedules", c1.unique_schedules);
 
   // Wall clocks and throughputs: advisory in the comparator (host-relative);
   // the CI Release gate reads them straight out of the baseline and the
@@ -208,6 +265,8 @@ int finalize(obs::BenchReport& report, const Accumulator& acc,
   report.add_timing_ms("lin_checks", lt.wall_ms);
   report.add_timing_ms("steps_per_sec_k1", sps1);
   report.add_timing_ms("steps_per_sec_k2", sps2);
+  report.add_timing_ms("steps_k1_cov", c1.wall_ms);
+  report.add_timing_ms("steps_per_sec_k1_cov", sps1_cov);
   report.add_timing_ms("lin_checks_per_sec", cps);
 
   // One instrumented full-detail run so the registry section carries the

@@ -41,6 +41,18 @@ void trial(const TrialContext& ctx, Accumulator& acc) {
       make_abd_weakener(ctx.seed, kMcK, kWeakenerNumProcesses,
                         /*metrics=*/false, sim::TraceDetail::kNone);
   sim::UniformAdversary adv(splitmix64(ctx.seed));
+  if (ctx.coverage) {
+    // The fingerprinter forwards the inner adversary's choices verbatim, so
+    // the execution (and mc_bad) is identical to the uninstrumented branch.
+    obs::ScheduleFingerprinter fp(adv);
+    const sim::RunResult res = inst.world->run(fp);
+    BLUNT_ASSERT(res.status == sim::RunStatus::kCompleted,
+                 "theorem42_bound MC trial did not complete: "
+                     << to_string(res.status));
+    acc.tally("mc_bad").add(inst.bad());
+    record_coverage(acc, fp, *inst.world);
+    return;
+  }
   const sim::RunResult res = inst.world->run(adv);
   BLUNT_ASSERT(res.status == sim::RunStatus::kCompleted,
                "theorem42_bound MC trial did not complete: "
@@ -144,7 +156,7 @@ int finalize(obs::BenchReport& report, const Accumulator& acc,
               run_instrumented_weakener(/*coin_seed=*/0, /*sched_seed=*/0,
                                         /*k=*/kMcK)
                   .snapshot);
-  (void)info;
+  report_coverage(report, acc, info);
   return 0;
 }
 

@@ -35,6 +35,9 @@ int run_and_report(const Experiment& e, const RunOptions& opts) {
   report.set_environment_int("engine_shards_resumed", out.info.shards_resumed);
   report.set_environment_int("engine_shards_executed",
                              out.info.shards_executed);
+  // Stamped only when on, so coverage-off reports stay byte-identical to
+  // pre-coverage ones (the committed baselines never carry this key).
+  if (out.info.coverage) report.set_environment_int("engine_coverage", 1);
   report.add_timing_ms("engine_trials", out.info.wall_ms);
   for (const auto& [threads, ms] : out.info.sweep_wall_ms) {
     report.add_timing_ms("engine_trials_t" + std::to_string(threads), ms);

@@ -214,6 +214,7 @@ const Json* resolve_metric_path(const Json& report, const std::string& path) {
       {"metrics.", "metrics", nullptr},
       {"timings_ms.", "timings_ms", nullptr},
       {"environment.", "environment", nullptr},
+      {"coverage.", "coverage", nullptr},
   };
   for (const Prefix& p : kPrefixes) {
     const std::string prefix(p.prefix);

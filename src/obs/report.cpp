@@ -131,6 +131,10 @@ void BenchReport::set_environment_int(const std::string& key,
   environment_[key] = Json(value);
 }
 
+void BenchReport::set_coverage(const std::string& key, Json v) {
+  coverage_[key] = std::move(v);
+}
+
 Json BenchReport::to_json() const {
   JsonObject o;
   o["schema"] = Json("blunt-bench-report");
@@ -140,6 +144,9 @@ Json BenchReport::to_json() const {
   o["registry"] = snapshot_to_json(registry_);
   o["timings_ms"] = Json(timings_ms_);
   o["environment"] = Json(environment_);
+  // Optional: only coverage-enabled runs carry the section, so pre-coverage
+  // reports, baselines, and their comparisons are untouched.
+  if (!coverage_.empty()) o["coverage"] = Json(coverage_);
   return Json(std::move(o));
 }
 
@@ -218,6 +225,12 @@ std::string validate_report_json(const Json& j) {
   const Json* total = j.at("timings_ms").find("total");
   if (total == nullptr || !total->is_number()) {
     return "timings_ms missing numeric \"total\"";
+  }
+  // "coverage" is optional, but when present it must be an object (the
+  // renderers index into it without re-validating).
+  if (const Json* cov = j.find("coverage");
+      cov != nullptr && !cov->is_object()) {
+    return "section \"coverage\" present but not an object";
   }
   return "";
 }

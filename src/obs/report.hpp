@@ -13,6 +13,11 @@
 //                 report construction to write();
 //   environment — free-form provenance (trial counts, sweep parameters).
 //
+// Plus one optional section, "coverage": execution-coverage observability
+// (unique-fingerprint counts, the shard-indexed growth curve) emitted only
+// by runs with coverage enabled — absent sections keep pre-coverage reports
+// and baselines schema-valid.
+//
 // Reports land in $BLUNT_BENCH_DIR (default: the current directory).
 #pragma once
 
@@ -61,6 +66,11 @@ class BenchReport {
   void set_environment(const std::string& key, std::string value);
   void set_environment_int(const std::string& key, std::int64_t value);
 
+  /// Execution-coverage observability (optional "coverage" section): counts,
+  /// the shard-indexed growth curve, and any structured payload. The section
+  /// is emitted only if at least one key was set.
+  void set_coverage(const std::string& key, Json v);
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Json to_json() const;
 
@@ -75,6 +85,7 @@ class BenchReport {
   JsonObject metrics_;
   JsonObject timings_ms_;
   JsonObject environment_;
+  JsonObject coverage_;
   MetricsSnapshot registry_;
 };
 

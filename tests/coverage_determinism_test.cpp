@@ -1,0 +1,172 @@
+// Coverage under the engine's determinism contract: the merged CoverageMaps,
+// every coverage.* metric, and the shard-indexed coverage-growth curve must
+// be bit-identical for every --threads value, survive checkpoint/resume
+// exactly, and coverage-off runs must carry no coverage state at all.
+#include "exp/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/workloads.hpp"
+#include "obs/coverage.hpp"
+
+namespace blunt::exp {
+namespace {
+
+/// Synthetic coverage workload: fingerprints are a pure function of the
+/// derived seed, with deliberate cross-shard duplicates (v % 97) so merge
+/// actually deduplicates across shard boundaries.
+Experiment make_coverage_synthetic(std::int64_t trials = 333) {
+  Experiment e;
+  e.name = "coverage_synthetic";
+  e.description = "coverage determinism workload";
+  e.default_trials = trials;
+  e.default_seed = 7;
+  e.seed_derivation = SeedDerivation::kSplitMix64;
+  e.trial = [](const TrialContext& ctx, Accumulator& acc) {
+    acc.counter("n") += 1;
+    if (!ctx.coverage) return;
+    acc.coverage(kCoverageSchedules).insert(ctx.seed);
+    acc.coverage(kCoverageNgrams).insert(ctx.seed % 97);
+    acc.coverage(kCoverageNgrams).insert(ctx.seed % 89);
+  };
+  return e;
+}
+
+RunOptions opts_with(int threads, bool coverage, int shard_size = 16) {
+  RunOptions o;
+  o.threads = threads;
+  o.coverage = coverage;
+  o.shard_size = shard_size;
+  return o;
+}
+
+std::string growth_dump(
+    const std::map<std::string, std::vector<std::int64_t>>& growth) {
+  std::string out;
+  for (const auto& [key, curve] : growth) {
+    out += key + ":";
+    for (const std::int64_t v : curve) out += std::to_string(v) + ",";
+    out += ";";
+  }
+  return out;
+}
+
+TEST(CoverageDeterminism, MergedMapsAndGrowthIdenticalAcrossThreadCounts) {
+  const Experiment e = make_coverage_synthetic();
+  const RunOutput ref = run_trials(e, opts_with(1, /*coverage=*/true));
+  const std::string want = ref.merged.to_json().dump();
+  const std::string want_growth = growth_dump(ref.info.coverage_growth);
+  ASSERT_FALSE(ref.info.coverage_growth.empty());
+  ASSERT_TRUE(ref.info.coverage);
+  // 333 trials / shard 16 = 21 shards -> every curve has one point per shard.
+  EXPECT_EQ(
+      ref.info.coverage_growth.at(kCoverageSchedules).size(),
+      static_cast<std::size_t>(ref.info.shards_total));
+  // The curve is cumulative, so it must be non-decreasing and end at the
+  // merged set's size.
+  const std::vector<std::int64_t>& curve =
+      ref.info.coverage_growth.at(kCoverageSchedules);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+  EXPECT_EQ(curve.back(),
+            static_cast<std::int64_t>(
+                ref.merged.coverage(kCoverageSchedules).size()));
+
+  for (const int threads : {2, 3, 8}) {
+    const RunOutput out = run_trials(e, opts_with(threads, /*coverage=*/true));
+    EXPECT_EQ(out.merged.to_json().dump(), want) << threads << " threads";
+    EXPECT_EQ(growth_dump(out.info.coverage_growth), want_growth)
+        << threads << " threads";
+  }
+}
+
+TEST(CoverageDeterminism, Theorem42CoverageIdenticalAcrossThreadCounts) {
+  register_builtin_experiments();
+  const Experiment* e = find_experiment("theorem42_bound");
+  ASSERT_NE(e, nullptr);
+  RunOptions base = opts_with(1, /*coverage=*/true);
+  base.trials = 160;  // small but multi-shard (32-trial default shards)
+  const RunOutput ref = run_trials(*e, base);
+  const std::string want = ref.merged.to_json().dump();
+  const std::string want_growth = growth_dump(ref.info.coverage_growth);
+  EXPECT_GT(ref.merged.coverage(kCoverageSchedules).size(), 0u);
+  EXPECT_GT(ref.merged.coverage(kCoverageNgrams).size(), 0u);
+  EXPECT_GT(ref.merged.coverage(kCoverageObjects).size(), 0u);
+  for (const int threads : {2, 3, 8}) {
+    RunOptions o = base;
+    o.threads = threads;
+    const RunOutput out = run_trials(*e, o);
+    EXPECT_EQ(out.merged.to_json().dump(), want) << threads << " threads";
+    EXPECT_EQ(growth_dump(out.info.coverage_growth), want_growth)
+        << threads << " threads";
+  }
+}
+
+TEST(CoverageDeterminism, CoverageDoesNotPerturbTrialResults) {
+  register_builtin_experiments();
+  const Experiment* e = find_experiment("theorem42_bound");
+  ASSERT_NE(e, nullptr);
+  RunOptions off = opts_with(2, /*coverage=*/false);
+  off.trials = 160;
+  RunOptions on = off;
+  on.coverage = true;
+  const RunOutput plain = run_trials(*e, off);
+  const RunOutput fingerprinted = run_trials(*e, on);
+  // The tally must be bit-identical: fingerprinting wraps the adversary in a
+  // choice-transparent recorder, never altering the execution.
+  EXPECT_EQ(plain.merged.tally("mc_bad").successes(),
+            fingerprinted.merged.tally("mc_bad").successes());
+  EXPECT_EQ(plain.merged.tally("mc_bad").trials(),
+            fingerprinted.merged.tally("mc_bad").trials());
+  // And the coverage-off run carries no coverage state at all.
+  EXPECT_TRUE(plain.merged.coverage_maps().empty());
+  EXPECT_FALSE(plain.info.coverage);
+  EXPECT_TRUE(plain.info.coverage_growth.empty());
+}
+
+class TempCheckpoint {
+ public:
+  explicit TempCheckpoint(const std::string& tag)
+      : path_(std::string(::testing::TempDir()) + "blunt_cov_ckpt_" + tag +
+              ".jsonl") {
+    std::remove(path_.c_str());
+  }
+  ~TempCheckpoint() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(CoverageDeterminism, CheckpointResumePreservesCoverageExactly) {
+  const Experiment e = make_coverage_synthetic();
+  const RunOutput direct = run_trials(e, opts_with(2, /*coverage=*/true));
+  const std::string want = direct.merged.to_json().dump();
+  const std::string want_growth = growth_dump(direct.info.coverage_growth);
+
+  TempCheckpoint cp("resume");
+  RunOptions chunk = opts_with(2, /*coverage=*/true);
+  chunk.checkpoint_path = cp.path();
+  chunk.max_shards = 5;  // 21 shards -> several chunks
+  int chunks = 0;
+  RunOutput out;
+  do {
+    out = run_trials(e, chunk);
+    ++chunks;
+    ASSERT_LT(chunks, 50) << "chunked run failed to converge";
+  } while (!out.info.complete);
+  EXPECT_GE(chunks, 4);
+  // The final fold mixes freshly-run shards with shards deserialized from
+  // the checkpoint — coverage sets and growth must still match bit for bit.
+  EXPECT_EQ(out.merged.to_json().dump(), want);
+  EXPECT_EQ(growth_dump(out.info.coverage_growth), want_growth);
+}
+
+}  // namespace
+}  // namespace blunt::exp

@@ -4,6 +4,8 @@
 //   blunt_exp run <experiment> [--threads N] [--trials N] [--seed S]
 //                 [--shard-size N] [--checkpoint FILE] [--max-shards N]
 //                 [--timing-sweep T1,T2,...] [--bench-dir DIR]
+//                 [--coverage] [--progress FILE] [--progress-interval MS]
+//   blunt_exp watch FILE [--poll MS]
 //
 // Runs a registered experiment on the deterministic parallel engine
 // (src/exp): trials shard across a work-stealing pool, per-trial seeds
@@ -18,12 +20,21 @@
 // continue). --timing-sweep re-runs the trial phase at extra thread counts,
 // records each wall clock in timings_ms, and asserts the merged results are
 // bit-identical — the engine's built-in determinism self-check.
+//
+// --coverage turns on execution-coverage fingerprinting (schedule hashes,
+// interleaving n-grams, object histories — see obs/fingerprint.hpp): the
+// report gains coverage.* metrics and the shard-indexed coverage-growth
+// curve, all bit-identical for every --threads value. --progress FILE
+// appends live heartbeat JSONL (exp/progress.hpp schema) from a sampler
+// thread; `blunt_exp watch FILE` tails such a file into a one-line status
+// display and exits when the run's final done=true record lands.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "exp/progress.hpp"
 #include "exp/runner.hpp"
 
 namespace {
@@ -46,9 +57,27 @@ int usage(const char* argv0) {
       "usage: %s --list\n"
       "       %s run <experiment> [--threads N] [--trials N] [--seed S]\n"
       "           [--shard-size N] [--checkpoint FILE] [--max-shards N]\n"
-      "           [--timing-sweep T1,T2,...] [--bench-dir DIR]\n",
-      argv0, argv0);
+      "           [--timing-sweep T1,T2,...] [--bench-dir DIR]\n"
+      "           [--coverage] [--progress FILE] [--progress-interval MS]\n"
+      "       %s watch FILE [--poll MS]\n",
+      argv0, argv0, argv0);
   return 2;
+}
+
+int watch_main(int argc, char** argv, const char* argv0) {
+  // argv[0] here is the FILE operand; optional --poll MS follows.
+  if (argc < 1) return usage(argv0);
+  const std::string path = argv[0];
+  int poll_ms = 250;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--poll") == 0 && i + 1 < argc) {
+      poll_ms = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown watch flag %s\n", argv[i]);
+      return usage(argv0);
+    }
+  }
+  return blunt::exp::watch_progress(path, poll_ms, stdout);
 }
 
 std::vector<int> parse_thread_list(const std::string& arg) {
@@ -73,6 +102,10 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "--list") == 0 ||
       std::strcmp(argv[1], "list") == 0) {
     return list_experiments();
+  }
+  if (std::strcmp(argv[1], "watch") == 0 ||
+      std::strcmp(argv[1], "--watch") == 0) {
+    return watch_main(argc - 2, argv + 2, argv[0]);
   }
   if (std::strcmp(argv[1], "run") != 0 || argc < 3) return usage(argv[0]);
 
@@ -105,6 +138,12 @@ int main(int argc, char** argv) {
       opts.timing_sweep = parse_thread_list(value());
     } else if (flag == "--bench-dir") {
       setenv("BLUNT_BENCH_DIR", value(), /*overwrite=*/1);
+    } else if (flag == "--coverage") {
+      opts.coverage = true;
+    } else if (flag == "--progress") {
+      opts.progress_path = value();
+    } else if (flag == "--progress-interval") {
+      opts.progress_interval_ms = std::atoi(value());
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return usage(argv[0]);

@@ -278,6 +278,88 @@ void usage(const char* argv0) {
   return svg;
 }
 
+// -- Execution coverage ------------------------------------------------------
+
+/// Everything the renderers need from a report's coverage instrumentation
+/// (empty `present` for coverage-off runs — the section simply isn't drawn).
+struct CoverageView {
+  bool present = false;
+  double schedules = 0, ngrams = 0, objects = 0, new_last = 0;
+  std::int64_t window_shards = 0;
+  std::vector<double> growth;  // cumulative unique schedules per shard prefix
+  std::string verdict;         // "plateaued" or "still climbing"
+};
+
+[[nodiscard]] CoverageView coverage_view(const Json& report) {
+  CoverageView cv;
+  const Json* s = obs::resolve_metric_path(
+      report, "metrics.coverage.schedules_unique");
+  if (s == nullptr) return cv;
+  cv.present = true;
+  cv.schedules = s->as_double();
+  if (const Json* v = obs::resolve_metric_path(
+          report, "metrics.coverage.ngrams_unique")) {
+    cv.ngrams = v->as_double();
+  }
+  if (const Json* v = obs::resolve_metric_path(
+          report, "metrics.coverage.objects_unique")) {
+    cv.objects = v->as_double();
+  }
+  if (const Json* v = obs::resolve_metric_path(
+          report, "metrics.coverage.new_last_window")) {
+    cv.new_last = v->as_double();
+  }
+  if (const Json* cov = report.find("coverage"); cov && cov->is_object()) {
+    if (const Json* fp = cov->find("fingerprints"); fp && fp->is_object()) {
+      if (const Json* w = fp->find("window_shards"); w && w->is_number()) {
+        cv.window_shards = w->as_int();
+      }
+      if (const Json* g = fp->find("growth"); g && g->is_object()) {
+        if (const Json* sc = g->find("schedules"); sc && sc->is_array()) {
+          for (const Json& p : sc->as_array()) {
+            if (p.is_number()) cv.growth.push_back(p.as_double());
+          }
+        }
+      }
+    }
+  }
+  // Saturation heuristic: the run has plateaued when the last ~10% of shards
+  // contributed no more than 1% of the distinct schedules seen.
+  cv.verdict = cv.new_last <= 0.01 * std::max(1.0, cv.schedules)
+                   ? "plateaued"
+                   : "still climbing";
+  return cv;
+}
+
+/// Inline SVG of the coverage-growth curve (cumulative unique fingerprints
+/// vs shard index) — same footprint as the ledger sparklines.
+[[nodiscard]] std::string curve_svg(const std::vector<double>& ys) {
+  constexpr double kW = 240.0, kH = 40.0, kPad = 4.0;
+  if (ys.size() < 2) return "";
+  double lo = ys.front(), hi = ys.front();
+  for (const double y : ys) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  const double span = hi - lo;
+  std::string points;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    const double x = kPad + (kW - 2 * kPad) * static_cast<double>(i) /
+                                static_cast<double>(ys.size() - 1);
+    const double y = span <= 0.0
+                         ? kH / 2
+                         : kH - kPad - (kH - 2 * kPad) * (ys[i] - lo) / span;
+    points += fmt(x) + "," + fmt(y) + " ";
+  }
+  return "<svg class=\"spark\" width=\"" + fmt(kW) + "\" height=\"" + fmt(kH) +
+         "\" viewBox=\"0 0 " + fmt(kW) + " " + fmt(kH) +
+         "\"><title>unique schedules after each shard (" + fmt(ys.front()) +
+         " → " + fmt(ys.back()) +
+         ")</title><polyline fill=\"none\" stroke=\"#6a8f52\" "
+         "stroke-width=\"1.5\" points=\"" +
+         points + "\"/></svg>";
+}
+
 [[nodiscard]] const char* verdict_css(obs::Verdict v) {
   switch (v) {
     case obs::Verdict::kImproved: return "improved";
@@ -344,6 +426,26 @@ std::string build_markdown(const std::vector<BenchState>& benches,
        << c.evidence << "\n";
   }
   if (!any_bound) md << "(no bench declared a blunting instance)\n";
+  md << "\n## Execution coverage\n\n";
+  bool any_cov = false;
+  for (const auto& b : benches) {
+    const CoverageView cv = coverage_view(b.current);
+    if (!cv.present) continue;
+    if (!any_cov) {
+      md << "| bench | schedules | 4-grams | object histories | new in last "
+            "window | saturation |\n";
+      md << "|---|---|---|---|---|---|\n";
+      any_cov = true;
+    }
+    md << "| " << b.name << " | " << fmt(cv.schedules) << " | "
+       << fmt(cv.ngrams) << " | " << fmt(cv.objects) << " | "
+       << fmt(cv.new_last) << " (last " << cv.window_shards << " shard(s)) | "
+       << cv.verdict << " |\n";
+  }
+  if (!any_cov) {
+    md << "(no coverage-instrumented reports — run with `blunt_exp run "
+          "<exp> --coverage`)\n";
+  }
   md << "\n## Baselines\n\n";
   for (const auto& b : benches) {
     md << "- " << b.name << ": " << b.baseline_origin;
@@ -428,6 +530,38 @@ std::string build_html(const std::vector<BenchState>& benches,
   }
   html << "</table>\n";
 
+  // Execution coverage: the growth curve answers "did more trials still buy
+  // new schedules?" — a plateaued curve means the trial budget saturated the
+  // reachable interleaving space at this fingerprint granularity.
+  html << "<h2>Execution coverage</h2>\n<table><tr><th>bench</th>"
+          "<th>schedules</th><th>4-grams</th><th>object histories</th>"
+          "<th>new in last window</th><th>saturation</th>"
+          "<th>growth (unique schedules vs shard)</th></tr>\n";
+  bool any_cov = false;
+  for (const auto& b : benches) {
+    const CoverageView cv = coverage_view(b.current);
+    if (!cv.present) continue;
+    any_cov = true;
+    html << "<tr><td>" << html_escape(b.name) << "</td><td>"
+         << fmt(cv.schedules) << "</td><td>" << fmt(cv.ngrams) << "</td><td>"
+         << fmt(cv.objects) << "</td><td>" << fmt(cv.new_last) << " (last "
+         << cv.window_shards << " shard(s))</td><td class=\""
+         << (cv.verdict == "plateaued" ? "improved" : "neutral") << "\">"
+         << cv.verdict << "</td><td>";
+    const std::string curve = curve_svg(cv.growth);
+    if (curve.empty()) {
+      html << "<span class=\"neutral\">no growth curve</span>";
+    } else {
+      html << curve;
+    }
+    html << "</td></tr>\n";
+  }
+  if (!any_cov) {
+    html << "<tr><td colspan=\"7\" class=\"neutral\">no "
+            "coverage-instrumented reports (run with --coverage)</td></tr>\n";
+  }
+  html << "</table>\n";
+
   // Per-bench sparklines across ledger entries (i.e. across commits).
   for (const auto& b : benches) {
     html << "<h2>" << html_escape(b.name) << "</h2>\n";
@@ -452,11 +586,18 @@ std::string build_html(const std::vector<BenchState>& benches,
     paths.push_back("timings_ms.total");
     paths.push_back("timings_ms.engine_trials");
     for (const std::string& path : paths) {
+      // A missing metric renders as an em-dash cell rather than dropping the
+      // row: the reader sees WHICH expected metric this report lacks (e.g. a
+      // pre-engine ledger entry without timings_ms.engine_trials).
       const Json* v = obs::resolve_metric_path(b.current, path);
-      if (v == nullptr) continue;
       const auto series = obs::metric_series(ledger, b.name, path);
-      html << "<tr><td><code>" << html_escape(path) << "</code></td><td>"
-           << fmt(v->as_double()) << "</td><td>";
+      html << "<tr><td><code>" << html_escape(path) << "</code></td><td>";
+      if (v == nullptr) {
+        html << "<span class=\"neutral\">&mdash;</span>";
+      } else {
+        html << fmt(v->as_double());
+      }
+      html << "</td><td>";
       const std::string spark = sparkline_svg(series);
       if (spark.empty()) {
         html << "<span class=\"neutral\">" << series.size()
