@@ -1,5 +1,6 @@
 #include "adversary/shrink.hpp"
 
+#include <chrono>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -45,6 +46,12 @@ std::size_t RecordingAdversary::choose(const sim::World& w,
 
 std::size_t EventReplayAdversary::choose(
     const sim::World&, const std::vector<sim::Event>& enabled) {
+  if (enabled.empty()) {
+    // Out of contract (the world never offers an empty set), but a hardened
+    // replayer answers deterministically instead of indexing into nothing.
+    ++overflow_steps_;
+    return 0;
+  }
   while (pos_ < schedule_.size()) {
     const EventDescriptor& d = schedule_[pos_];
     for (std::size_t i = 0; i < enabled.size(); ++i) {
@@ -79,13 +86,47 @@ std::vector<EventDescriptor> without(const std::vector<EventDescriptor>& all,
 std::vector<EventDescriptor> shrink_schedule(
     const std::function<bool(const std::vector<EventDescriptor>&)>& fails,
     std::vector<EventDescriptor> schedule) {
-  BLUNT_ASSERT(fails(schedule), "shrink_schedule: input does not fail");
+  return shrink_schedule(fails, std::move(schedule), ShrinkOptions{});
+}
+
+std::vector<EventDescriptor> shrink_schedule(
+    const std::function<bool(const std::vector<EventDescriptor>&)>& fails,
+    std::vector<EventDescriptor> schedule, const ShrinkOptions& opts) {
+  // Budget accounting wraps the predicate: every call (including the entry
+  // check) draws from max_evals; the wall clock is sampled alongside. When
+  // either budget trips, evaluate() reports exhaustion and the main loop
+  // returns the best still-failing schedule found so far.
+  long evals = 0;
+  bool exhausted = false;
+  const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  const auto evaluate = [&](const std::vector<EventDescriptor>& s) {
+    if (opts.max_evals > 0 && evals >= opts.max_evals) {
+      exhausted = true;
+      return false;
+    }
+    if (opts.max_wall_ms > 0) {
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      if (ms >= opts.max_wall_ms) {
+        exhausted = true;
+        return false;
+      }
+    }
+    ++evals;
+    return fails(s);
+  };
+  BLUNT_ASSERT(evaluate(schedule), "shrink_schedule: input does not fail");
   // ddmin with complement-only reduction: repeatedly try to delete chunks of
   // size n/granularity; on success restart at coarse granularity, otherwise
   // refine until granularity == n (single-event deletions). Terminates with
-  // a 1-minimal sequence.
+  // a 1-minimal sequence (or the current best when the budget runs out).
+  // Chunks are probed left to right, so tie-breaking between equally viable
+  // deletions is deterministic: the lowest begin index wins.
   std::size_t granularity = 2;
-  while (schedule.size() >= 2 && granularity <= schedule.size()) {
+  while (!exhausted && schedule.size() >= 2 &&
+         granularity <= schedule.size()) {
     const std::size_t chunk =
         (schedule.size() + granularity - 1) / granularity;
     bool reduced = false;
@@ -93,22 +134,23 @@ std::vector<EventDescriptor> shrink_schedule(
       const std::size_t end = std::min(begin + chunk, schedule.size());
       std::vector<EventDescriptor> candidate = without(schedule, begin, end);
       if (candidate.empty()) continue;  // keep at least one event
-      if (fails(candidate)) {
+      if (evaluate(candidate)) {
         schedule = std::move(candidate);
         granularity = std::max<std::size_t>(2, granularity - 1);
         reduced = true;
         break;
       }
+      if (exhausted) break;
     }
     if (!reduced) {
-      if (granularity >= schedule.size()) break;
+      if (exhausted || granularity >= schedule.size()) break;
       granularity = std::min(schedule.size(), granularity * 2);
     }
   }
   // Try dropping the last remaining event too (ddmin above never empties).
-  if (schedule.size() == 1) {
+  if (!exhausted && schedule.size() == 1) {
     std::vector<EventDescriptor> empty;
-    if (fails(empty)) schedule.clear();
+    if (evaluate(empty)) schedule.clear();
   }
   return schedule;
 }

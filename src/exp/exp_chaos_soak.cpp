@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "adversary/shrink.hpp"
+#include "common/assert.hpp"
 #include "exp/experiment.hpp"
 #include "exp/workloads.hpp"
 #include "fault/injector.hpp"
@@ -159,9 +160,20 @@ bool lin_ok(const sim::World& w) {
 // nullptr runs the exact pre-coverage path; non-null wraps the chaos
 // adversary in the choice-transparent obs::ScheduleFingerprinter and records
 // fingerprints on the side — the run itself is identical either way.
+/// Every plan that reaches an execution passes full structural validation
+/// (FaultPlan::validate) — the generator is quorum-preserving by
+/// construction, and this hard check keeps it honest as knobs evolve. The
+/// fuzzer's plan mutator goes through the same gate.
+fault::FaultPlan validated(fault::FaultPlan plan) {
+  const std::string err = plan.validate();
+  BLUNT_ASSERT(err.empty(), "invalid fault plan: " << err << " in "
+                                                   << plan.to_string());
+  return plan;
+}
+
 void abd_trial(std::uint64_t seed, int k, ChaosTotals& t, Accumulator* cov) {
-  const fault::FaultPlan plan = fault::random_plan(
-      fault::mix64(seed * 2 + static_cast<std::uint64_t>(k)), {});
+  const fault::FaultPlan plan = validated(fault::random_plan(
+      fault::mix64(seed * 2 + static_cast<std::uint64_t>(k)), {}));
   // The soak never reads the trace (lin_ok works off the invocation
   // table), so trials run at kNone; the shrink demo below replays against
   // event whats and keeps the default kFull.
@@ -209,7 +221,7 @@ fault::FaultPlan crash_only_plan(std::uint64_t seed, int num_processes) {
   opts.max_loss_permille = 0;
   opts.max_dup_permille = 0;
   opts.max_partitions = 0;
-  return fault::random_plan(seed, opts);
+  return validated(fault::random_plan(seed, opts));
 }
 
 void vitanyi_trial(std::uint64_t seed, int k, ChaosTotals& t,
@@ -364,7 +376,7 @@ ShrinkDemo run_shrink_demo(int max_seeds) {
        seed < static_cast<std::uint64_t>(max_seeds) && !demo.violation_found;
        ++seed) {
     const fault::FaultPlan plan =
-        fault::random_plan(fault::mix64(seed * 2 + 13), {});
+        validated(fault::random_plan(fault::mix64(seed * 2 + 13), {}));
     AbdChaosWorld cw = make_abd_chaos(seed, plan, /*k=*/1,
                                       objects::AbdBug::kSubMajorityQuorum,
                                       /*metrics=*/false);
@@ -493,7 +505,8 @@ int finalize_impl(obs::BenchReport& report, const Accumulator& acc,
   // Instrumented probe: one metrics-on chaos run so the report's registry
   // section carries the fault.* counters next to the net.*/sim.* ones.
   {
-    const fault::FaultPlan plan = fault::random_plan(fault::mix64(42), {});
+    const fault::FaultPlan plan =
+        validated(fault::random_plan(fault::mix64(42), {}));
     AbdChaosWorld cw = make_abd_chaos(/*coin_seed=*/42, plan, /*k=*/2,
                                       objects::AbdBug::kNone,
                                       /*metrics=*/true);

@@ -9,6 +9,7 @@ Experiment make_chaos_soak_experiment();
 Experiment make_equivalence_soak_experiment();
 Experiment make_snapshot_blunting_experiment();
 Experiment make_hotpath_experiment();
+Experiment make_fuzz_search_experiment();
 
 void register_builtin_experiments() {
   static const bool once = [] {
@@ -18,6 +19,7 @@ void register_builtin_experiments() {
     register_experiment(make_equivalence_soak_experiment());
     register_experiment(make_snapshot_blunting_experiment());
     register_experiment(make_hotpath_experiment());
+    register_experiment(make_fuzz_search_experiment());
     return true;
   }();
   (void)once;

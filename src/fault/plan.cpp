@@ -24,6 +24,70 @@ bool FaultPlan::quorum_preserving() const {
   return true;
 }
 
+std::string FaultPlan::validate() const {
+  std::ostringstream err;
+  if (num_processes < 1) return "num_processes < 1";
+  if (num_processes > 32) return "num_processes > 32 (side_mask width)";
+  if (loss_permille > 1000) return "loss_permille > 1000";
+  if (dup_permille > 1000) return "dup_permille > 1000";
+  if (loss_budget_per_channel < 0) return "negative loss budget";
+  if (dup_budget_per_channel < 0) return "negative dup budget";
+  if (loss_permille > 0 && loss_budget_per_channel == 0) {
+    return "positive loss rate with zero budget";
+  }
+  if (dup_permille > 0 && dup_budget_per_channel == 0) {
+    return "positive dup rate with zero budget";
+  }
+  const std::uint32_t all =
+      num_processes == 32 ? ~0u : ((1u << num_processes) - 1u);
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    const Partition& p = partitions[i];
+    if (p.open_step < 0) {
+      err << "partition " << i << " opens before step 0";
+      return err.str();
+    }
+    if (p.heal_step <= p.open_step) {
+      err << "partition " << i << " never heals (heal_step <= open_step)";
+      return err.str();
+    }
+    const std::uint32_t mask = p.side_mask & all;
+    if (mask == 0 || mask == all) {
+      err << "partition " << i << " is a trivial bipartition";
+      return err.str();
+    }
+  }
+  if (static_cast<int>(crashes.size()) * 2 >= num_processes) {
+    err << crashes.size() << " crashes reach a majority of " << num_processes
+        << " processes";
+    return err.str();
+  }
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    const CrashAt& c = crashes[i];
+    if (c.pid < 0 || c.pid >= num_processes) {
+      err << "crash " << i << " names out-of-range pid " << c.pid;
+      return err.str();
+    }
+    if (c.at_step < 0) {
+      err << "crash " << i << " at negative step";
+      return err.str();
+    }
+    for (std::size_t j = i + 1; j < crashes.size(); ++j) {
+      if (crashes[j].pid == c.pid) {
+        err << "pid " << c.pid << " crashes more than once";
+        return err.str();
+      }
+    }
+    if (i > 0) {
+      const CrashAt& prev = crashes[i - 1];
+      if (prev.at_step > c.at_step ||
+          (prev.at_step == c.at_step && prev.pid >= c.pid)) {
+        return "crashes not sorted by (at_step, pid)";
+      }
+    }
+  }
+  return "";
+}
+
 std::string FaultPlan::to_string() const {
   std::ostringstream os;
   os << "FaultPlan{seed=" << seed << " n=" << num_processes

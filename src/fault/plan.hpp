@@ -79,6 +79,21 @@ struct FaultPlan {
   /// every ABD operation must terminate under a fair adversary.
   [[nodiscard]] bool quorum_preserving() const;
 
+  /// Full structural validation: empty string iff the plan is well-formed
+  /// AND quorum-preserving, else a human-readable reason. Checks, beyond
+  /// quorum_preserving():
+  ///   * num_processes >= 1 and <= 32 (side_mask width);
+  ///   * loss/dup rates are probabilities (<= 1000 permille) with
+  ///     non-negative budgets, and a positive rate has a positive budget;
+  ///   * partitions are non-trivial bipartitions (both sides non-empty
+  ///     within [0, num_processes)) with heal_step > open_step >= 0;
+  ///   * crashes name distinct in-range pids at non-negative steps, sorted
+  ///     by (at_step, pid), and fewer than a majority crash.
+  /// Both the chaos soak and the fuzzer's plan mutator accept a plan only if
+  /// validate() returns empty, so every plan that reaches an execution obeys
+  /// the termination preconditions of Theorem 4.2's liveness argument.
+  [[nodiscard]] std::string validate() const;
+
   [[nodiscard]] std::string to_string() const;
 };
 

@@ -1,0 +1,211 @@
+#include "fuzz/mutate.hpp"
+
+#include <algorithm>
+
+namespace blunt::fuzz {
+
+const char* to_string(MutationOp op) {
+  switch (op) {
+    case MutationOp::kTruncate: return "truncate";
+    case MutationOp::kMove: return "move";
+    case MutationOp::kDeleteSpan: return "delete_span";
+    case MutationOp::kDuplicate: return "duplicate";
+    case MutationOp::kSwapDeliveries: return "swap_deliveries";
+    case MutationOp::kSplice: return "splice";
+  }
+  return "unknown";
+}
+
+void truncate_tail(FuzzRng& rng, std::vector<adversary::EventDescriptor>& s,
+                   std::size_t floor) {
+  if (s.size() <= floor + 1) return;
+  const std::size_t span = s.size() - floor;
+  std::size_t keep = floor + rng.below(span);
+  if (keep == 0) keep = 1;  // leave at least one event
+  s.resize(keep);
+}
+
+void move_one(FuzzRng& rng, std::vector<adversary::EventDescriptor>& s,
+              std::size_t floor) {
+  if (s.size() <= floor + 1) return;
+  const std::size_t span = s.size() - floor;
+  const std::size_t j = floor + rng.below(span);
+  const std::size_t d = 1 + rng.below(24);
+  adversary::EventDescriptor desc = s[j];
+  s.erase(s.begin() + static_cast<std::ptrdiff_t>(j));
+  const std::size_t dst = rng.coin()
+                              ? std::min(j + d, s.size())        // delay
+                              : (j > floor + d ? j - d : floor);  // advance
+  s.insert(s.begin() + static_cast<std::ptrdiff_t>(dst), std::move(desc));
+}
+
+void delete_span(FuzzRng& rng, std::vector<adversary::EventDescriptor>& s,
+                 std::size_t floor) {
+  if (s.size() <= floor + 1) return;
+  const std::size_t span = s.size() - floor;
+  const std::size_t begin = floor + rng.below(span);
+  const std::size_t len = 1 + rng.below(8);
+  std::size_t end = std::min(begin + len, s.size());
+  if (begin == 0 && end == s.size()) --end;  // leave at least one event
+  if (end <= begin) return;
+  s.erase(s.begin() + static_cast<std::ptrdiff_t>(begin),
+          s.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+void duplicate_one(FuzzRng& rng, std::vector<adversary::EventDescriptor>& s,
+                   std::size_t floor) {
+  if (s.size() <= floor) return;
+  const std::size_t span = s.size() - floor;
+  const std::size_t j = floor + rng.below(span);
+  const std::size_t dst = std::min(j + 1 + rng.below(8), s.size());
+  adversary::EventDescriptor desc = s[j];
+  s.insert(s.begin() + static_cast<std::ptrdiff_t>(dst), std::move(desc));
+}
+
+void swap_deliveries(FuzzRng& rng,
+                     std::vector<adversary::EventDescriptor>& s,
+                     std::size_t floor) {
+  std::vector<std::size_t> deliveries;
+  for (std::size_t i = floor; i < s.size(); ++i) {
+    if (s[i].kind == sim::Event::Kind::kDeliver) deliveries.push_back(i);
+  }
+  if (deliveries.size() < 2) return;
+  const std::size_t ai = rng.below(deliveries.size());
+  // Distinct second pick: offset by 1..size-1 modulo size.
+  const std::size_t bi =
+      (ai + 1 + rng.below(deliveries.size() - 1)) % deliveries.size();
+  std::swap(s[deliveries[ai]], s[deliveries[bi]]);
+}
+
+void splice(FuzzRng& rng, std::vector<adversary::EventDescriptor>& s,
+            const std::vector<adversary::EventDescriptor>& donor,
+            std::size_t floor) {
+  if (donor.empty() || s.size() < floor) return;
+  const std::size_t from = rng.below(donor.size());
+  const std::size_t len =
+      std::min<std::size_t>(1 + rng.below(16), donor.size() - from);
+  const std::size_t span = s.size() - floor;
+  const std::size_t at = floor + (span > 0 ? rng.below(span + 1) : 0);
+  s.insert(s.begin() + static_cast<std::ptrdiff_t>(at),
+           donor.begin() + static_cast<std::ptrdiff_t>(from),
+           donor.begin() + static_cast<std::ptrdiff_t>(from + len));
+}
+
+MutationOp mutate_schedule(FuzzRng& rng,
+                           std::vector<adversary::EventDescriptor>& s,
+                           std::size_t floor,
+                           const std::vector<adversary::EventDescriptor>*
+                               donor) {
+  const std::size_t roll = rng.below(8);
+  if (roll < 3) {
+    truncate_tail(rng, s, floor);
+    return MutationOp::kTruncate;
+  }
+  if (roll < 6) {
+    move_one(rng, s, floor);
+    return MutationOp::kMove;
+  }
+  switch (rng.below(donor != nullptr ? 4 : 3)) {
+    case 0:
+      delete_span(rng, s, floor);
+      return MutationOp::kDeleteSpan;
+    case 1:
+      duplicate_one(rng, s, floor);
+      return MutationOp::kDuplicate;
+    case 2:
+      swap_deliveries(rng, s, floor);
+      return MutationOp::kSwapDeliveries;
+    default:
+      splice(rng, s, *donor, floor);
+      return MutationOp::kSplice;
+  }
+}
+
+void mutate_coin(FuzzRng& rng, std::vector<int>& script,
+                 std::uint64_t& tail_seed) {
+  switch (rng.below(3)) {
+    case 0:  // truncate the script; the seeded tail takes over earlier
+      if (!script.empty()) script.resize(rng.below(script.size() + 1));
+      break;
+    case 1:  // perturb one scripted draw (replay clamps out-of-range)
+      if (!script.empty()) {
+        const std::size_t j = rng.below(script.size());
+        script[j] = static_cast<int>(rng.below(4));
+      }
+      break;
+    default:  // re-seed the post-script randomness
+      tail_seed = rng.next();
+      break;
+  }
+}
+
+fault::FaultPlan mutate_plan(FuzzRng& rng, const fault::FaultPlan& plan,
+                             const fault::PlanOptions& opts) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    fault::FaultPlan m = plan;
+    switch (rng.below(6)) {
+      case 0: {  // inject a crash if the minority cap leaves room
+        if ((static_cast<int>(m.crashes.size()) + 1) * 2 >=
+            m.num_processes) {
+          continue;
+        }
+        fault::CrashAt c;
+        c.pid = static_cast<Pid>(rng.below(
+            static_cast<std::size_t>(m.num_processes)));
+        c.at_step = static_cast<int>(rng.below(
+            static_cast<std::size_t>(std::max(1, opts.horizon_steps))));
+        m.crashes.push_back(c);
+        break;
+      }
+      case 1:  // remove a crash
+        if (m.crashes.empty()) continue;
+        m.crashes.erase(m.crashes.begin() + static_cast<std::ptrdiff_t>(
+                            rng.below(m.crashes.size())));
+        break;
+      case 2: {  // retime a crash
+        if (m.crashes.empty()) continue;
+        fault::CrashAt& c = m.crashes[rng.below(m.crashes.size())];
+        c.at_step = static_cast<int>(rng.below(
+            static_cast<std::size_t>(std::max(1, opts.horizon_steps))));
+        break;
+      }
+      case 3: {  // jitter a partition window (always keeps heal > open)
+        if (m.partitions.empty()) continue;
+        fault::Partition& p = m.partitions[rng.below(m.partitions.size())];
+        const int len = std::max(
+            opts.min_partition_len,
+            static_cast<int>(rng.below(static_cast<std::size_t>(
+                std::max(1, opts.max_partition_len)))));
+        p.open_step = static_cast<int>(rng.below(static_cast<std::size_t>(
+            std::max(1, opts.horizon_steps - len))));
+        p.heal_step = p.open_step + len;
+        break;
+      }
+      case 4:  // adjust the loss budget
+        m.loss_budget_per_channel =
+            m.loss_permille == 0
+                ? 0
+                : 1 + static_cast<int>(rng.below(static_cast<std::size_t>(
+                          std::max(1, opts.max_loss_budget))));
+        break;
+      default:  // adjust the dup budget
+        m.dup_budget_per_channel =
+            m.dup_permille == 0
+                ? 0
+                : 1 + static_cast<int>(rng.below(static_cast<std::size_t>(
+                          std::max(1, opts.max_dup_budget))));
+        break;
+    }
+    std::sort(m.crashes.begin(), m.crashes.end(),
+              [](const fault::CrashAt& a, const fault::CrashAt& b) {
+                return a.at_step != b.at_step ? a.at_step < b.at_step
+                                              : a.pid < b.pid;
+              });
+    // A retimed/injected crash can collide with an existing one on pid;
+    // validate() is the single source of truth for acceptance.
+    if (m.validate().empty()) return m;
+  }
+  return plan;  // no valid mutant found; keep the (valid) input
+}
+
+}  // namespace blunt::fuzz

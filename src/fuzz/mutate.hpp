@@ -1,0 +1,101 @@
+// Mutation operators over recorded schedules, coin scripts, and fault
+// plans — the greybox fuzzer's move set.
+//
+// A "schedule" here is a recorded descriptor list (adversary/shrink.hpp);
+// mutants are replayed with a prefix-replay adversary (fuzz/fuzzer.hpp)
+// that skips unmatched descriptors and re-extends the tail with fresh
+// biased/uniform steps, so EVERY mutant — however mangled — yields a legal
+// execution. That replay tolerance is what lets the operators stay purely
+// syntactic.
+//
+// All randomness flows through FuzzRng, a seeded mt19937_64 consumed via
+// raw 64-bit draws (no std distributions), so a (seed, operator sequence)
+// pair reproduces bit-identically — the engine's determinism contract.
+//
+// The `floor` argument protects a frozen prefix: indices < floor are never
+// touched. The Figure-1 branch search uses it to hold the shared
+// prefix-through-the-coin fixed while the tail is searched.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "adversary/shrink.hpp"
+#include "fault/plan.hpp"
+
+namespace blunt::fuzz {
+
+/// Seeded deterministic RNG for all fuzzing decisions. Raw mt19937_64
+/// output (standard-specified) — never std distributions, whose mapping is
+/// implementation-defined.
+class FuzzRng {
+ public:
+  explicit FuzzRng(std::uint64_t seed) : gen_(seed) {}
+
+  std::uint64_t next() { return gen_(); }
+  /// Uniform-ish in [0, n); n must be > 0. Modulo bias is irrelevant for
+  /// mutation choices.
+  std::size_t below(std::size_t n) { return gen_() % n; }
+  bool coin() { return (gen_() & 1u) != 0; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+/// The schedule move set. kTruncate and kMove are the workhorses (the pair
+/// validated to rediscover both planted targets); the rest add structural
+/// diversity at low weight.
+enum class MutationOp {
+  kTruncate,        // cut the tail at a random point (replay re-extends)
+  kMove,            // delay or advance one descriptor by 1..24 slots
+  kDeleteSpan,      // remove a short random span
+  kDuplicate,       // copy one descriptor to a nearby later slot
+  kSwapDeliveries,  // exchange two message-delivery descriptors
+  kSplice,          // graft a span from a donor schedule (corpus crossover)
+};
+
+[[nodiscard]] const char* to_string(MutationOp op);
+
+// Individual operators (exposed for tests). Each mutates `s` in place,
+// never touches indices < floor, and leaves at least one event.
+void truncate_tail(FuzzRng& rng, std::vector<adversary::EventDescriptor>& s,
+                   std::size_t floor);
+void move_one(FuzzRng& rng, std::vector<adversary::EventDescriptor>& s,
+              std::size_t floor);
+void delete_span(FuzzRng& rng, std::vector<adversary::EventDescriptor>& s,
+                 std::size_t floor);
+void duplicate_one(FuzzRng& rng, std::vector<adversary::EventDescriptor>& s,
+                   std::size_t floor);
+void swap_deliveries(FuzzRng& rng,
+                     std::vector<adversary::EventDescriptor>& s,
+                     std::size_t floor);
+void splice(FuzzRng& rng, std::vector<adversary::EventDescriptor>& s,
+            const std::vector<adversary::EventDescriptor>& donor,
+            std::size_t floor);
+
+/// Applies one randomly chosen operator: 3/8 truncate, 3/8 move, 2/8 one of
+/// the diversity operators (splice only when `donor` is non-null). Returns
+/// the operator applied.
+MutationOp mutate_schedule(FuzzRng& rng,
+                           std::vector<adversary::EventDescriptor>& s,
+                           std::size_t floor,
+                           const std::vector<adversary::EventDescriptor>*
+                               donor = nullptr);
+
+/// Mutates a coin script in place: truncate it, perturb one scripted draw
+/// (the scripted coin clamps out-of-range values, so any value is legal),
+/// or re-seed the post-script tail via `tail_seed`.
+void mutate_coin(FuzzRng& rng, std::vector<int>& script,
+                 std::uint64_t& tail_seed);
+
+/// Returns a mutated fault plan that still passes FaultPlan::validate():
+/// crash injection (respecting the crash-minority cap) / removal / retiming,
+/// partition window jitter, loss/dup budget adjustment. Falls back to the
+/// input plan if no valid mutant emerges after a few attempts, so the
+/// result ALWAYS validates (given a valid input).
+[[nodiscard]] fault::FaultPlan mutate_plan(FuzzRng& rng,
+                                           const fault::FaultPlan& plan,
+                                           const fault::PlanOptions& opts);
+
+}  // namespace blunt::fuzz

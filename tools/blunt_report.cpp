@@ -331,6 +331,43 @@ struct CoverageView {
   return cv;
 }
 
+// -- Greybox fuzzing ---------------------------------------------------------
+
+/// Everything the renderers need from a fuzz_search report (absent `present`
+/// for non-fuzzing benches — the section is only drawn when a report carries
+/// the fuzz.* metric family).
+struct FuzzView {
+  bool present = false;
+  double corpus_size = 0, corpus_violations = 0;
+  double found = 0, shrunk = 0, repairs = 0;
+  // Per-target discovery economics; speedup < 0 means "arm not run".
+  double abd_cost = -1, abd_speedup = -1;
+  double fig1_cost = -1, fig1_speedup = -1;
+};
+
+[[nodiscard]] FuzzView fuzz_view(const Json& report) {
+  FuzzView fv;
+  const auto num = [&report](const char* path, double fallback) {
+    const Json* v = obs::resolve_metric_path(report, path);
+    return v != nullptr && v->is_number() ? v->as_double() : fallback;
+  };
+  if (obs::resolve_metric_path(report, "metrics.fuzz.violations_found") ==
+      nullptr) {
+    return fv;
+  }
+  fv.present = true;
+  fv.corpus_size = num("metrics.fuzz.corpus_size", 0);
+  fv.corpus_violations = num("metrics.fuzz.corpus_violations", 0);
+  fv.found = num("metrics.fuzz.violations_found", 0);
+  fv.shrunk = num("metrics.fuzz.violations_shrunk", 0);
+  fv.repairs = num("metrics.fuzz.replay_repair", 0);
+  fv.abd_cost = num("metrics.fuzz.abd.execs_per_find", -1);
+  fv.abd_speedup = num("metrics.fuzz.abd.speedup", -1);
+  fv.fig1_cost = num("metrics.fuzz.fig1.execs_per_pair", -1);
+  fv.fig1_speedup = num("metrics.fuzz.fig1.speedup", -1);
+  return fv;
+}
+
 /// Inline SVG of the coverage-growth curve (cumulative unique fingerprints
 /// vs shard index) — same footprint as the ledger sparklines.
 [[nodiscard]] std::string curve_svg(const std::vector<double>& ys) {
@@ -445,6 +482,27 @@ std::string build_markdown(const std::vector<BenchState>& benches,
   if (!any_cov) {
     md << "(no coverage-instrumented reports — run with `blunt_exp run "
           "<exp> --coverage`)\n";
+  }
+  bool any_fuzz = false;
+  for (const auto& b : benches) {
+    const FuzzView fv = fuzz_view(b.current);
+    if (!fv.present) continue;
+    if (!any_fuzz) {
+      md << "\n## Greybox fuzzing\n\n";
+      md << "| bench | corpus | corpus violations | found | shrunk | replay "
+            "repairs | abd execs/find | abd speedup | fig1 execs/pair | fig1 "
+            "speedup |\n";
+      md << "|---|---|---|---|---|---|---|---|---|---|\n";
+      any_fuzz = true;
+    }
+    const auto cell = [](double v) {
+      return v < 0 ? std::string("-") : fmt(v);
+    };
+    md << "| " << b.name << " | " << fmt(fv.corpus_size) << " | "
+       << fmt(fv.corpus_violations) << " | " << fmt(fv.found) << " | "
+       << fmt(fv.shrunk) << " | " << fmt(fv.repairs) << " | "
+       << cell(fv.abd_cost) << " | " << cell(fv.abd_speedup) << " | "
+       << cell(fv.fig1_cost) << " | " << cell(fv.fig1_speedup) << " |\n";
   }
   md << "\n## Baselines\n\n";
   for (const auto& b : benches) {
@@ -561,6 +619,41 @@ std::string build_html(const std::vector<BenchState>& benches,
             "coverage-instrumented reports (run with --coverage)</td></tr>\n";
   }
   html << "</table>\n";
+
+  // Greybox fuzzing: corpus growth and the fuzz-vs-Monte-Carlo discovery
+  // economics behind the ≥10x gate. Only drawn when a fuzz_search report is
+  // present.
+  bool any_fuzz = false;
+  for (const auto& b : benches) {
+    const FuzzView fv = fuzz_view(b.current);
+    if (!fv.present) continue;
+    if (!any_fuzz) {
+      html << "<h2>Greybox fuzzing</h2>\n<table><tr><th>bench</th>"
+              "<th>corpus</th><th>corpus violations</th><th>found</th>"
+              "<th>shrunk</th><th>replay repairs</th><th>abd execs/find</th>"
+              "<th>abd speedup</th><th>fig1 execs/pair</th>"
+              "<th>fig1 speedup</th></tr>\n";
+      any_fuzz = true;
+    }
+    const auto cell = [](double v) {
+      return v < 0 ? std::string("<span class=\"neutral\">&mdash;</span>")
+                   : fmt(v);
+    };
+    const auto speedup_css = [](double v) {
+      if (v < 0) return "neutral";
+      return v >= 10.0 ? "improved" : "regressed";
+    };
+    html << "<tr><td>" << html_escape(b.name) << "</td><td>"
+         << fmt(fv.corpus_size) << "</td><td>" << fmt(fv.corpus_violations)
+         << "</td><td>" << fmt(fv.found) << "</td><td>" << fmt(fv.shrunk)
+         << "</td><td>" << fmt(fv.repairs) << "</td><td>"
+         << cell(fv.abd_cost) << "</td><td class=\""
+         << speedup_css(fv.abd_speedup) << "\">" << cell(fv.abd_speedup)
+         << "</td><td>" << cell(fv.fig1_cost) << "</td><td class=\""
+         << speedup_css(fv.fig1_speedup) << "\">" << cell(fv.fig1_speedup)
+         << "</td></tr>\n";
+  }
+  if (any_fuzz) html << "</table>\n";
 
   // Per-bench sparklines across ledger entries (i.e. across commits).
   for (const auto& b : benches) {
