@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/prof_export.hpp"
 #include "obs/report.hpp"
 
 namespace blunt::exp {
@@ -12,6 +13,7 @@ namespace {
 const BernoulliEstimator kEmptyTally;
 const RunningStats kEmptyStats;
 const obs::CoverageMap kEmptyCoverage;
+const obs::ProfileSnapshot kEmptyProfile;
 
 }  // namespace
 
@@ -36,11 +38,18 @@ const obs::CoverageMap& Accumulator::coverage(const std::string& name) const {
   return it == coverage_.end() ? kEmptyCoverage : it->second;
 }
 
+const obs::ProfileSnapshot& Accumulator::profile(
+    const std::string& name) const {
+  const auto it = profiles_.find(name);
+  return it == profiles_.end() ? kEmptyProfile : it->second;
+}
+
 void Accumulator::merge(const Accumulator& other) {
   for (const auto& [name, t] : other.tallies_) tallies_[name].merge(t);
   for (const auto& [name, s] : other.stats_) stats_[name].merge(s);
   for (const auto& [name, v] : other.counters_) counters_[name] += v;
   for (const auto& [name, c] : other.coverage_) coverage_[name].merge(c);
+  for (const auto& [name, p] : other.profiles_) profiles_[name].merge(p);
   registry_.merge(other.registry_);
 }
 
@@ -74,6 +83,16 @@ obs::Json Accumulator::to_json() const {
   out["stats"] = obs::Json(std::move(stats));
   out["counters"] = obs::Json(std::move(counters));
   out["coverage"] = obs::Json(std::move(coverage));
+  // Profile snapshots are all-integer JSON, so checkpoints roundtrip them
+  // bit-exactly; the key is emitted only when profiling ran so pre-profile
+  // checkpoints stay byte-identical.
+  if (!profiles_.empty()) {
+    obs::JsonObject profiles;
+    for (const auto& [name, p] : profiles_) {
+      profiles[name] = obs::profile_to_json(p);
+    }
+    out["profile"] = obs::Json(std::move(profiles));
+  }
   out["registry"] = obs::snapshot_to_json(registry_);
   return obs::Json(std::move(out));
 }
@@ -103,8 +122,20 @@ Accumulator Accumulator::from_json(const obs::Json& j) {
       a.coverage_[name] = obs::CoverageMap::from_json(c);
     }
   }
+  // Also optional: pre-profile shard checkpoints must keep resuming.
+  if (const obs::Json* prof = j.find("profile")) {
+    for (const auto& [name, p] : prof->as_object()) {
+      a.profiles_[name] = obs::profile_from_json(p);
+    }
+  }
   a.registry_ = obs::snapshot_from_json(j.at("registry"));
   return a;
+}
+
+std::string Accumulator::canonical_dump() const {
+  Accumulator canon = *this;
+  for (auto& [name, p] : canon.profiles_) p.zero_advisory_ns();
+  return canon.to_json().dump();
 }
 
 }  // namespace blunt::exp

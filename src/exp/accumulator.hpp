@@ -18,6 +18,11 @@
 //                merge is set union, which is order-insensitive, and the
 //                canonical serialization (sorted fixed-width hex) makes the
 //                folded set byte-identical for any thread count.
+//   profiles   — named obs::ProfileSnapshots (per-subsystem phase stats and
+//                exact work counters); merge is element-wise addition. The
+//                calls and counters are exact; the nanosecond timings are
+//                advisory wall-clock (like the engine's timings_ms) and are
+//                excluded from identity comparisons via canonical_dump().
 //
 // The whole accumulator serializes to JSON bit-exactly (doubles dump with
 // shortest-roundtrip precision), which is what makes shard-granular
@@ -33,6 +38,7 @@
 #include "obs/coverage.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 
 namespace blunt::exp {
 
@@ -45,6 +51,9 @@ class Accumulator {
   obs::MetricsSnapshot& registry() { return registry_; }
   obs::CoverageMap& coverage(const std::string& name) {
     return coverage_[name];
+  }
+  obs::ProfileSnapshot& profile(const std::string& name) {
+    return profiles_[name];
   }
 
   // Read side (finalize hooks run on the merged accumulator). Missing names
@@ -71,6 +80,12 @@ class Accumulator {
       const {
     return coverage_;
   }
+  [[nodiscard]] const obs::ProfileSnapshot& profile(
+      const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, obs::ProfileSnapshot>& profiles()
+      const {
+    return profiles_;
+  }
 
   /// Associative shard merge; see the class comment for exactness.
   void merge(const Accumulator& other);
@@ -79,11 +94,17 @@ class Accumulator {
   [[nodiscard]] obs::Json to_json() const;
   [[nodiscard]] static Accumulator from_json(const obs::Json& j);
 
+  /// to_json().dump() with the profiles' advisory nanosecond timings zeroed.
+  /// The engine's cross-thread-count identity assertion compares this — the
+  /// exact components must match to the bit while wall-clock may not.
+  [[nodiscard]] std::string canonical_dump() const;
+
  private:
   std::map<std::string, BernoulliEstimator> tallies_;
   std::map<std::string, RunningStats> stats_;
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, obs::CoverageMap> coverage_;
+  std::map<std::string, obs::ProfileSnapshot> profiles_;
   obs::MetricsSnapshot registry_;
 };
 

@@ -44,12 +44,13 @@ struct Layout {
 }
 
 /// One shard, run on whichever worker claimed it. The result depends only on
-/// (experiment, layout, shard index, coverage flag). `trials_done` is
-/// telemetry-only (nullptr when no --progress): the increment is outside
+/// (experiment, layout, shard index, coverage/profile flags). `trials_done`
+/// is telemetry-only (nullptr when no --progress): the increment is outside
 /// every per-trial computation, so progress reporting cannot perturb trial
 /// results.
 [[nodiscard]] Accumulator run_shard(const Experiment& e, const Layout& l,
                                     std::int64_t shard, bool coverage,
+                                    bool profile,
                                     std::atomic<std::int64_t>* trials_done) {
   Accumulator acc;
   const std::int64_t begin = shard * l.shard_size;
@@ -61,6 +62,7 @@ struct Layout {
     ctx.trials = l.trials;
     ctx.seed = derive_seed(e.seed_derivation, l.seed, i);
     ctx.coverage = coverage;
+    ctx.profile = profile;
     e.trial(ctx, acc);
     if (trials_done != nullptr) {
       trials_done->fetch_add(1, std::memory_order_relaxed);
@@ -219,7 +221,7 @@ struct PassResult {
 [[nodiscard]] PassResult run_pass(
     const Experiment& e, const Layout& l, int threads,
     const std::map<std::int64_t, Accumulator>& resumed,
-    std::ofstream* checkpoint, int max_shards, bool coverage,
+    std::ofstream* checkpoint, int max_shards, bool coverage, bool profile,
     ProgressState* progress) {
   PassResult pass;
   pass.shard_accs.resize(static_cast<std::size_t>(l.num_shards));
@@ -257,7 +259,7 @@ struct PassResult {
       if (progress != nullptr) {
         progress->shards_claimed.fetch_add(1, std::memory_order_relaxed);
       }
-      Accumulator acc = run_shard(e, l, s, coverage, trials_done);
+      Accumulator acc = run_shard(e, l, s, coverage, profile, trials_done);
       if (checkpoint != nullptr) {
         const std::lock_guard<std::mutex> lock(writer_mu);
         *checkpoint << shard_line(e, l, s, acc).dump() << '\n';
@@ -422,7 +424,7 @@ RunOutput run_trials(const Experiment& e, const RunOptions& opts) {
   PassResult main_pass = run_pass(
       e, l, opts.threads, resumed,
       opts.checkpoint_path.empty() ? nullptr : &checkpoint_out, opts.max_shards,
-      opts.coverage, progress.get());
+      opts.coverage, opts.profile, progress.get());
 
   if (sampler != nullptr) {
     sampler->finish(main_pass.complete);
@@ -441,6 +443,7 @@ RunOutput run_trials(const Experiment& e, const RunOptions& opts) {
   out.info.wall_ms = main_pass.wall_ms;
   out.info.complete = main_pass.complete;
   out.info.coverage = opts.coverage;
+  out.info.profile = opts.profile;
   out.merged = fold(std::move(main_pass.shard_accs),
                     opts.coverage ? &out.info.coverage_growth : nullptr);
 
@@ -453,14 +456,17 @@ RunOutput run_trials(const Experiment& e, const RunOptions& opts) {
   }
 
   if (main_pass.complete && !opts.timing_sweep.empty()) {
-    const std::string want = out.merged.to_json().dump();
+    // canonical_dump, not to_json().dump(): profile nanoseconds are advisory
+    // wall-clock and legitimately differ between passes; every exact
+    // component must still match to the bit.
+    const std::string want = out.merged.canonical_dump();
     for (const int t : opts.timing_sweep) {
       PassResult sweep = run_pass(e, l, t, {}, nullptr, 0, opts.coverage,
-                                  nullptr);
+                                  opts.profile, nullptr);
       out.info.sweep_wall_ms.emplace_back(std::max(1, t), sweep.wall_ms);
       // Built-in determinism self-check: every thread count must produce
       // the same merged bits.
-      const std::string got = fold(std::move(sweep.shard_accs)).to_json().dump();
+      const std::string got = fold(std::move(sweep.shard_accs)).canonical_dump();
       BLUNT_ASSERT(got == want, "timing sweep at " << t << " threads diverged "
                                 << "from the main pass — determinism bug");
     }

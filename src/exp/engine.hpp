@@ -65,6 +65,12 @@ struct RunOptions {
   /// coverage-growth curve (RunInfo::coverage_growth). Off by default —
   /// coverage must cost nothing when unused.
   bool coverage = false;
+  /// Deterministic-profiling opt-in: sets TrialContext::profile so trial
+  /// bodies run profiled worlds and fold per-subsystem ProfileSnapshots into
+  /// the accumulator. Exact profile counters are bit-identical for any
+  /// --threads value; nanosecond timings are advisory. Off by default — the
+  /// disabled path must be the exact pre-profiling hot path.
+  bool profile = false;
   /// Non-empty: append heartbeat JSONL records (exp/progress.hpp) to this
   /// file from a sampler thread that only reads worker-side atomics — the
   /// merged result is bit-identical with or without progress reporting.

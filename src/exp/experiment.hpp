@@ -39,6 +39,11 @@ struct TrialContext {
   /// accumulator's coverage maps; when clear they MUST run the exact
   /// pre-coverage code path (zero added work on the hot path).
   bool coverage = false;
+  /// Deterministic-profiling opt-in (RunOptions::profile). When set, trial
+  /// bodies that support it build worlds with sim::Config::profile and fold
+  /// the per-trial obs::ProfileSnapshot into the shard accumulator's named
+  /// profiles; when clear they MUST run the exact pre-profiling code path.
+  bool profile = false;
 };
 
 /// Engine-facts finalize may want to report (trial counts, wall clocks).
@@ -56,6 +61,8 @@ struct RunInfo {
   bool complete = true;  // false: stopped early (max_shards), checkpoint kept
   /// Execution coverage was enabled for this run (RunOptions::coverage).
   bool coverage = false;
+  /// Deterministic profiling was enabled for this run (RunOptions::profile).
+  bool profile = false;
   /// Per coverage key, the cumulative unique-fingerprint count after folding
   /// each shard in ascending order — the coverage-growth curve. Computed
   /// inside the engine's fixed merge tree, so it is bit-identical for any

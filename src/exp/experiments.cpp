@@ -10,6 +10,7 @@ Experiment make_equivalence_soak_experiment();
 Experiment make_snapshot_blunting_experiment();
 Experiment make_hotpath_experiment();
 Experiment make_fuzz_search_experiment();
+Experiment make_scaling_probe_experiment();
 
 void register_builtin_experiments() {
   static const bool once = [] {
@@ -20,6 +21,7 @@ void register_builtin_experiments() {
     register_experiment(make_snapshot_blunting_experiment());
     register_experiment(make_hotpath_experiment());
     register_experiment(make_fuzz_search_experiment());
+    register_experiment(make_scaling_probe_experiment());
     return true;
   }();
   (void)once;

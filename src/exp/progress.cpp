@@ -127,8 +127,53 @@ int watch_progress(const std::string& path, int poll_ms, std::FILE* out,
   if (poll_ms < 10) poll_ms = 10;
   long polls = 0;
   std::string last_rendered;
+  // Incremental tail state: `offset` counts bytes already pulled from the
+  // file, `partial` carries a trailing fragment that had no newline yet.
+  // A torn final heartbeat (the sampler's write raced our read, or the run
+  // was killed mid-line) therefore never wedges or miscounts the watch: the
+  // fragment just sits in `partial` until its newline arrives, and if it
+  // never does, every complete line before it has still been rendered.
+  std::uint64_t offset = 0;
+  std::string partial;
+  std::optional<ProgressSample> latest;
   for (;;) {
-    const std::optional<ProgressSample> s = read_last_progress(path);
+    if (std::ifstream in(path, std::ios::binary); in) {
+      in.seekg(0, std::ios::end);
+      const auto size = static_cast<std::uint64_t>(in.tellg());
+      if (size < offset) {
+        // File shrank (rotated or restarted run): tail from scratch.
+        offset = 0;
+        partial.clear();
+      }
+      if (size > offset) {
+        in.seekg(static_cast<std::streamoff>(offset));
+        std::string chunk(size - offset, '\0');
+        in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+        chunk.resize(static_cast<std::size_t>(in.gcount()));
+        offset += chunk.size();
+        partial += chunk;
+        std::size_t start = 0;
+        for (;;) {
+          const std::size_t nl = partial.find('\n', start);
+          if (nl == std::string::npos) break;
+          if (std::optional<ProgressSample> s =
+                  parse_progress_line(partial.substr(start, nl - start))) {
+            latest = std::move(s);
+          }
+          start = nl + 1;
+        }
+        partial.erase(0, start);
+      }
+    }
+    // A final record written without a trailing newline still counts once
+    // it parses whole; it stays buffered in case more bytes are coming (a
+    // complete JSON line cannot be extended into a different valid one).
+    std::optional<ProgressSample> s = latest;
+    if (!partial.empty()) {
+      if (std::optional<ProgressSample> tail = parse_progress_line(partial)) {
+        s = std::move(tail);
+      }
+    }
     if (s) {
       const std::string line = render_status_line(*s);
       if (line != last_rendered) {

@@ -77,9 +77,15 @@ struct ProgressSample {
 [[nodiscard]] std::string render_status_line(const ProgressSample& s);
 
 /// Tails `path`, rendering each new valid record as a \r-refreshed status
-/// line on `out`; returns 0 once a done=true record is seen. `poll_ms`
-/// bounds the re-read cadence; `max_polls` > 0 gives up (returns 1) after
-/// that many polls without a done record — the CLI passes 0 (wait forever).
+/// line on `out`; returns 0 once a done=true record is seen. Tailing is
+/// incremental (only bytes appended since the last poll are read) and
+/// torn-tolerant: a partial final line — the sampler's write racing the
+/// read, or a run killed mid-heartbeat — is buffered until its newline
+/// arrives and never stops the tail or corrupts the status line. A file
+/// that shrinks (rotated or restarted run) is re-tailed from the start.
+/// `poll_ms` bounds the poll cadence; `max_polls` > 0 gives up (returns 1)
+/// after that many polls without a done record — the CLI passes 0 (wait
+/// forever).
 int watch_progress(const std::string& path, int poll_ms, std::FILE* out,
                    long max_polls = 0);
 

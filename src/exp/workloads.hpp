@@ -22,6 +22,8 @@
 #include "obs/fingerprint.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/prof_export.hpp"
 #include "obs/report.hpp"
 #include "programs/weakener.hpp"
 #include "sim/adversaries.hpp"
@@ -42,13 +44,17 @@ inline constexpr int kWeakenerNumProcesses = 3;
 /// `trace_detail` selects how much of the trace is materialized; executions
 /// are bit-identical across levels (see sim::TraceDetail), so MC trial
 /// bodies that never read the trace pass kNone to stay off the allocator.
+/// `profile` turns on the world's deterministic profiler (purely
+/// observational; read it via inst.world->profiler()).
 inline adversary::McInstance make_abd_weakener(
     std::uint64_t coin_seed, int k,
     int num_processes = kWeakenerNumProcesses, bool metrics = false,
-    sim::TraceDetail trace_detail = sim::TraceDetail::kFull) {
+    sim::TraceDetail trace_detail = sim::TraceDetail::kFull,
+    bool profile = false) {
   adversary::McInstance inst;
   inst.world = std::make_unique<sim::World>(
-      sim::Config{.metrics = metrics, .trace_detail = trace_detail},
+      sim::Config{.metrics = metrics, .trace_detail = trace_detail,
+                  .profile = profile},
       std::make_unique<sim::SeededCoin>(coin_seed));
   auto r = std::make_shared<objects::AbdRegister>(
       "R", *inst.world,
@@ -281,6 +287,83 @@ inline void report_coverage(obs::BenchReport& report, const Accumulator& acc,
   std::printf("  %-28s %12lld  (last %lld shard(s))\n", "new schedules",
               static_cast<long long>(new_last_window),
               static_cast<long long>(window));
+}
+
+// -- Deterministic-profiling conventions --------------------------------------
+//
+// Profiled trials fold each world's ProfileSnapshot into the shard
+// accumulator under a name ("mc" for homogeneous Monte-Carlo trials; per-n
+// names like "n16" for the scaling probe). record_profile is the one call a
+// trial body makes after a profiled run; report_profile is the one call
+// finalize makes to publish the merged snapshots: exact counters become
+// `profile.<name>.<counter>` integer metrics (noise-free regression
+// surface), advisory phase timings go to timings_ms, and the full structured
+// snapshots land in the report's optional "profile" section.
+
+/// Folds one profiled world into the shard accumulator. No-op when the world
+/// was built without Config::profile, so unconditional call sites stay on
+/// the pre-profiling path.
+inline void record_profile(Accumulator& acc, const std::string& name,
+                           const sim::World& world) {
+  if (world.profiler() == nullptr) return;
+  acc.profile(name).merge(world.profiler()->snapshot());
+}
+
+/// Same, for a profiler handle (e.g. a lin-checker profiler owned by the
+/// trial body rather than a world).
+inline void record_profile(Accumulator& acc, const std::string& name,
+                           const obs::Profiler* prof) {
+  if (prof == nullptr) return;
+  acc.profile(name).merge(prof->snapshot());
+}
+
+/// Publishes merged profiles and prints the console cost table. No-op when
+/// the run was not profiled (keeps profile-off reports byte-stable).
+inline void report_profile(obs::BenchReport& report, const Accumulator& acc,
+                           const RunInfo& info) {
+  // Gate on recorded snapshots, not info.profile: experiments that profile
+  // unconditionally (scaling_probe) publish either way, while profile-off
+  // runs of opt-in experiments recorded nothing and stay byte-stable.
+  (void)info;
+  if (acc.profiles().empty()) return;
+  for (const auto& [name, snap] : acc.profiles()) {
+    report.set_profile(name, obs::profile_to_json(snap));
+    for (int c = 0; c < obs::kNumCounters; ++c) {
+      const auto counter = static_cast<obs::ProfCounter>(c);
+      const std::int64_t v = snap.counter(counter);
+      if (v == 0) continue;
+      report.set_metric_int(
+          "profile." + name + "." + obs::counter_name(counter), v);
+    }
+    for (int p = 0; p < obs::kNumPhases; ++p) {
+      const auto phase = static_cast<obs::Phase>(p);
+      const obs::PhaseStat& st = snap.phase(phase);
+      if (st.calls == 0) continue;
+      // Advisory wall-clock, same status as the engine's other timings.
+      report.add_timing_ms("profile." + name + "." + obs::phase_name(phase),
+                           static_cast<double>(st.ns) / 1e6);
+    }
+  }
+
+  print_header("profile (exact counters; timings advisory)");
+  for (const auto& [name, snap] : acc.profiles()) {
+    std::printf("  [%s]\n", name.c_str());
+    for (int p = 0; p < obs::kNumPhases; ++p) {
+      const auto phase = static_cast<obs::Phase>(p);
+      const obs::PhaseStat& st = snap.phase(phase);
+      if (st.calls == 0) continue;
+      std::printf("    %-24s %12lld calls %12.3f ms\n", obs::phase_name(phase),
+                  static_cast<long long>(st.calls),
+                  static_cast<double>(st.ns) / 1e6);
+    }
+    for (int c = 0; c < obs::kNumCounters; ++c) {
+      const auto counter = static_cast<obs::ProfCounter>(c);
+      const std::int64_t v = snap.counter(counter);
+      if (v == 0) continue;
+      std::printf("    %-24s %12lld\n", obs::counter_name(counter),
+                  static_cast<long long>(v));
+    }
+  }
 }
 
 }  // namespace blunt::exp

@@ -80,7 +80,8 @@ class MemoSet {
 
 class WingGong {
  public:
-  WingGong(const History& h, const SequentialSpec& spec) : h_(h) {
+  WingGong(const History& h, const SequentialSpec& spec, obs::Profiler* prof)
+      : h_(h), prof_(prof) {
     state_ = spec.initial();
     undoable_ = state_->undoable();
     const int m = h_.size();
@@ -116,7 +117,11 @@ class WingGong {
   bool dfs(std::uint64_t done) {
     if ((completed_mask_ & ~done) == 0) return true;
     const std::uint64_t shash = state_->hash();
-    if (failed_.contains(done, shash)) return false;
+    if (prof_ != nullptr) prof_->count(obs::ProfCounter::kMemoProbes);
+    if (failed_.contains(done, shash)) {
+      if (prof_ != nullptr) prof_->count(obs::ProfCounter::kMemoHits);
+      return false;
+    }
 
     const int m = h_.size();
     for (int i = 0; i < m; ++i) {
@@ -152,18 +157,21 @@ class WingGong {
   std::vector<std::uint64_t> pred_mask_;
   std::vector<InvocationId> witness_;
   MemoSet failed_;
+  obs::Profiler* prof_;
 };
 
 }  // namespace
 
 LinearizationResult check_linearizable(const History& h,
-                                       const SequentialSpec& spec) {
-  return WingGong(h, spec).run();
+                                       const SequentialSpec& spec,
+                                       obs::Profiler* prof) {
+  const obs::ScopedPhase prof_scope(prof, obs::Phase::kLinCheck);
+  return WingGong(h, spec, prof).run();
 }
 
 bool check_all_objects(const History& h,
                        const std::function<const SequentialSpec*(int)>& spec_for,
-                       std::string* why) {
+                       std::string* why, obs::Profiler* prof) {
   // Distinct object ids in ascending order: the iteration order (and hence
   // which object a multi-failure history is reported for) is deterministic,
   // unlike the unordered_set this replaced.
@@ -176,7 +184,7 @@ bool check_all_objects(const History& h,
     const SequentialSpec* spec = spec_for(obj);
     if (spec == nullptr) continue;
     const History proj = h.project_object(obj);
-    const LinearizationResult r = check_linearizable(proj, *spec);
+    const LinearizationResult r = check_linearizable(proj, *spec, prof);
     if (!r.linearizable) {
       if (why != nullptr) {
         std::ostringstream os;

@@ -17,6 +17,7 @@
 
 #include "lin/history.hpp"
 #include "lin/spec.hpp"
+#include "obs/prof.hpp"
 
 namespace blunt::lin {
 
@@ -29,15 +30,18 @@ struct LinearizationResult {
 };
 
 /// Is `h` linearizable w.r.t. `spec`? `h` must contain at most 62 operations.
-[[nodiscard]] LinearizationResult check_linearizable(const History& h,
-                                                     const SequentialSpec& spec);
+/// `prof` (optional, header-only obs/prof.hpp — no link edge) attributes the
+/// check to obs::Phase::kLinCheck and counts memo probes/hits exactly.
+[[nodiscard]] LinearizationResult check_linearizable(
+    const History& h, const SequentialSpec& spec,
+    obs::Profiler* prof = nullptr);
 
 /// Convenience: checks every object projection of `h` against the spec
 /// returned by `spec_for(object_id)`; nullptr spec = skip that object.
 [[nodiscard]] bool check_all_objects(
     const History& h,
     const std::function<const SequentialSpec*(int)>& spec_for,
-    std::string* why = nullptr);
+    std::string* why = nullptr, obs::Profiler* prof = nullptr);
 
 /// Validates a caller-supplied linearization order: contains every completed
 /// op of `h`, only ops of `h`, respects real-time precedence, and is

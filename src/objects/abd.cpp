@@ -48,6 +48,7 @@ AbdRegister::AbdRegister(std::string name, sim::World& w, Options opts)
   BLUNT_ASSERT(opts_.num_processes >= 1, "ABD needs processes");
   BLUNT_ASSERT(opts_.preamble_iterations >= 1, "k must be >= 1");
   BLUNT_ASSERT(opts_.max_retransmits >= 0, "negative retransmit bound");
+  prof_ = w.profiler();
   if (obs::MetricsRegistry* m = w.metrics()) {
     quorum_round_trips_ = m->counter(obs::kQuorumRoundTrips);
     preamble_executed_ = m->counter(obs::kPreambleExecuted);
@@ -96,6 +97,7 @@ void AbdRegister::handle(Pid to, Pid from, const AbdMessage& m) {
       break;
     case AbdMessage::Type::kReply:
       // Keyed by responder: a duplicated or re-elicited reply is idempotent.
+      if (prof_ != nullptr) prof_->count(obs::ProfCounter::kQuorumTouches);
       cli.replies[m.sn].emplace(from, std::make_pair(m.val, m.ts));
       break;
     case AbdMessage::Type::kUpdate:
@@ -109,6 +111,7 @@ void AbdRegister::handle(Pid to, Pid from, const AbdMessage& m) {
       break;
     case AbdMessage::Type::kAck:
       // A set, not a count: duplicated acks cannot fake a quorum.
+      if (prof_ != nullptr) prof_->count(obs::ProfCounter::kQuorumTouches);
       cli.acks[m.sn].insert(from);
       break;
   }
@@ -116,6 +119,11 @@ void AbdRegister::handle(Pid to, Pid from, const AbdMessage& m) {
 
 bool AbdRegister::phase_satisfied(Pid client, int sn,
                                   AbdMessage::Type type) const {
+  // The dominant quorum-bookkeeping site: polled by the scheduler's wait
+  // predicates on every enabled scan, so this is where map-based quorum
+  // tracking shows up in the n-scaling probe.
+  const obs::ScopedPhase prof_scope(prof_, obs::Phase::kQuorum);
+  if (prof_ != nullptr) prof_->count(obs::ProfCounter::kQuorumTouches);
   const Client& c = clients_[static_cast<std::size_t>(client)];
   if (type == AbdMessage::Type::kQuery) {
     const auto it = c.replies.find(sn);

@@ -194,6 +194,9 @@ class AbdRegister final : public RegisterObject {
   int quorum_;
   // Observability (null when the World's metrics are off).
   obs::Counter* quorum_round_trips_ = nullptr;
+  // Profiling (null when the World's profiler is off): quorum-map touches,
+  // attributed to obs::Phase::kQuorum.
+  obs::Profiler* prof_ = nullptr;
   obs::Counter* preamble_executed_ = nullptr;
   obs::Counter* preamble_kept_ = nullptr;
   obs::Counter* retransmission_counter_ = nullptr;

@@ -67,6 +67,11 @@ constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
 std::size_t ScheduleFingerprinter::choose(const sim::World& w,
                                           const std::vector<sim::Event>& enabled) {
   const std::size_t c = inner_.choose(w, enabled);
+  // Attribute the fingerprint fold (not the inner adversary's choice) to
+  // the coverage phase; the counter is exact, the timer advisory.
+  obs::Profiler* const prof = w.profiler();
+  const obs::ScopedPhase prof_scope(prof, obs::Phase::kCoverageFingerprint);
+  if (prof != nullptr) prof->count(obs::ProfCounter::kFingerprintHashes);
   const std::uint64_t eh = event_hash(enabled[c]);
   h_ = mix(h_, eh);
   ++count_;

@@ -135,6 +135,10 @@ void BenchReport::set_coverage(const std::string& key, Json v) {
   coverage_[key] = std::move(v);
 }
 
+void BenchReport::set_profile(const std::string& key, Json v) {
+  profile_[key] = std::move(v);
+}
+
 Json BenchReport::to_json() const {
   JsonObject o;
   o["schema"] = Json("blunt-bench-report");
@@ -147,6 +151,7 @@ Json BenchReport::to_json() const {
   // Optional: only coverage-enabled runs carry the section, so pre-coverage
   // reports, baselines, and their comparisons are untouched.
   if (!coverage_.empty()) o["coverage"] = Json(coverage_);
+  if (!profile_.empty()) o["profile"] = Json(profile_);
   return Json(std::move(o));
 }
 
@@ -231,6 +236,11 @@ std::string validate_report_json(const Json& j) {
   if (const Json* cov = j.find("coverage");
       cov != nullptr && !cov->is_object()) {
     return "section \"coverage\" present but not an object";
+  }
+  // Same for "profile": optional, object when present.
+  if (const Json* prof = j.find("profile");
+      prof != nullptr && !prof->is_object()) {
+    return "section \"profile\" present but not an object";
   }
   return "";
 }

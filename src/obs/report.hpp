@@ -13,10 +13,13 @@
 //                 report construction to write();
 //   environment — free-form provenance (trial counts, sweep parameters).
 //
-// Plus one optional section, "coverage": execution-coverage observability
-// (unique-fingerprint counts, the shard-indexed growth curve) emitted only
-// by runs with coverage enabled — absent sections keep pre-coverage reports
-// and baselines schema-valid.
+// Plus two optional sections, emitted only by runs that enable them (absent
+// sections keep older reports and baselines schema-valid):
+//
+//   coverage — execution-coverage observability (unique-fingerprint counts,
+//              the shard-indexed growth curve);
+//   profile  — deterministic profiling (per-subsystem phase stats and exact
+//              work counters, keyed by snapshot name).
 //
 // Reports land in $BLUNT_BENCH_DIR (default: the current directory).
 #pragma once
@@ -71,6 +74,11 @@ class BenchReport {
   /// is emitted only if at least one key was set.
   void set_coverage(const std::string& key, Json v);
 
+  /// Deterministic profiling (optional "profile" section): per-subsystem
+  /// phase stats and exact work counters, keyed by snapshot name. Same
+  /// presence discipline as "coverage": emitted only if a key was set.
+  void set_profile(const std::string& key, Json v);
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Json to_json() const;
 
@@ -86,6 +94,7 @@ class BenchReport {
   JsonObject timings_ms_;
   JsonObject environment_;
   JsonObject coverage_;
+  JsonObject profile_;
   MetricsSnapshot registry_;
 };
 

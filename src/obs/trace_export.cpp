@@ -147,6 +147,43 @@ Json chrome_trace_events(const sim::World& w) {
     events.emplace_back(std::move(x));
   }
 
+  // Profiled worlds get a separate profiler track (its own pid so viewers
+  // group it apart from the simulated processes): one complete slice per
+  // phase with calls, carrying the aggregate stats as args. ts/dur here are
+  // real nanoseconds, not trace indices — the track is advisory wall-clock
+  // attribution, unlike the logical-time tracks above.
+  if (const Profiler* prof = w.profiler(); prof != nullptr) {
+    const ProfileSnapshot& snap = prof->snapshot();
+    for (int p = 0; p < kNumPhases; ++p) {
+      const auto phase = static_cast<Phase>(p);
+      const PhaseStat& st = snap.phase(phase);
+      if (st.calls == 0) continue;
+      JsonObject m;
+      m["ph"] = Json("M");
+      m["name"] = Json("thread_name");
+      m["pid"] = Json(1);
+      m["tid"] = Json(static_cast<std::int64_t>(p));
+      JsonObject margs;
+      margs["name"] = Json(std::string("profile ") + phase_name(phase));
+      m["args"] = Json(std::move(margs));
+      events.emplace_back(std::move(m));
+
+      JsonObject x;
+      x["ph"] = Json("X");
+      x["name"] = Json(phase_name(phase));
+      x["cat"] = Json("profile");
+      x["pid"] = Json(1);
+      x["tid"] = Json(static_cast<std::int64_t>(p));
+      x["ts"] = Json(0);
+      x["dur"] = Json(st.ns);
+      JsonObject args;
+      args["calls"] = Json(st.calls);
+      args["ns"] = Json(st.ns);
+      x["args"] = Json(std::move(args));
+      events.emplace_back(std::move(x));
+    }
+  }
+
   // Every trace entry as an instant event on its process track.
   for (const sim::TraceEntry& e : w.trace().entries()) {
     JsonObject i;

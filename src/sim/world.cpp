@@ -27,6 +27,7 @@ World::World(Config cfg, std::unique_ptr<CoinSource> coins)
     random_draw_counter_ = metrics_->counter(obs::kRandomDraws);
     inv_latency_ = metrics_->histogram(obs::kInvocationLatency);
   }
+  if (cfg_.profile) prof_ = std::make_unique<obs::Profiler>();
 }
 
 World::~World() = default;
@@ -85,6 +86,7 @@ const std::vector<Event>& World::enabled_events() const {
   // single allocation. Event::what borrows — from literals, from the parked
   // slots' pending labels, or from the pending buffers refilled here — and
   // stays valid until the next enumeration.
+  const obs::ScopedPhase prof_scope(prof_.get(), obs::Phase::kEnabledScan);
   std::vector<Event>& events = events_buf_;
   events.clear();
   for (Pid pid = 0; pid < process_count(); ++pid) {
@@ -132,10 +134,16 @@ const std::vector<Event>& World::enabled_events() const {
   if (fault_layer_ != nullptr && fault_layer_->tick_pending(*this)) {
     events.push_back({Event::Kind::kTick, -1, -1, -1, "fault-tick"});
   }
+  if (prof_) {
+    prof_->count(obs::ProfCounter::kEventsScanned,
+                 static_cast<std::int64_t>(events.size()));
+  }
   return events;
 }
 
 void World::execute(const Event& e) {
+  const obs::ScopedPhase prof_scope(prof_.get(), obs::Phase::kExecute);
+  if (prof_) prof_->count(obs::ProfCounter::kStepsExecuted);
   ++sched_steps_;
   trace_.set_sched_step(sched_steps_);
   // Step-indexed fault transitions (partition opens/heals) fire first, so a
@@ -160,7 +168,12 @@ void World::execute(const Event& e) {
         trace_.skip();
       }
       count_step(StepKind::kDeliver);
-      sources_[e.source_id]->deliver(e.msg_id);
+      {
+        const obs::ScopedPhase delivery_scope(prof_.get(),
+                                              obs::Phase::kNetDelivery);
+        if (prof_) prof_->count(obs::ProfCounter::kDeliveries);
+        sources_[e.source_id]->deliver(e.msg_id);
+      }
       break;
     }
     case Event::Kind::kCrash: {
@@ -327,31 +340,52 @@ std::string World::describe_stuck() const {
 }
 
 RunResult World::run(Adversary& adv) {
-  while (sched_steps_ < cfg_.max_steps) {
-    if (finished()) return {RunStatus::kCompleted, sched_steps_, {}};
-    const std::vector<Event>& events = enabled_events();
-    if (events.empty()) {
-      RunResult r{RunStatus::kDeadlock, sched_steps_, {}};
-      if (cfg_.deadlock_diagnostics) {
-        r.deadlock_detail = describe_stuck();
-        if (trace_.recording()) {
-          trace_.append({.pid = -1,
-                         .kind = StepKind::kLocal,
-                         .what = "deadlock:\n" + r.deadlock_detail,
-                         .inv = -1,
-                         .value = {}});
-        } else {
-          trace_.skip();
-        }
+  // Profiling-only observation around the loop: the run phase timer and the
+  // allocation tally (billed by the operator-new hook when blunt_obs is
+  // linked; stays zero elsewhere). With profiling off both are inert.
+  RunResult result{RunStatus::kStepBudgetExhausted, 0, {}};
+  {
+    const obs::ScopedPhase prof_scope(prof_.get(), obs::Phase::kRun);
+    obs::AllocTally alloc_tally;
+    const obs::AllocScope alloc_scope(prof_ ? &alloc_tally : nullptr);
+    while (sched_steps_ < cfg_.max_steps) {
+      if (finished()) {
+        result.status = RunStatus::kCompleted;
+        break;
       }
-      return r;
+      const std::vector<Event>& events = enabled_events();
+      if (events.empty()) {
+        result.status = RunStatus::kDeadlock;
+        if (cfg_.deadlock_diagnostics) {
+          result.deadlock_detail = describe_stuck();
+          if (trace_.recording()) {
+            trace_.append({.pid = -1,
+                           .kind = StepKind::kLocal,
+                           .what = "deadlock:\n" + result.deadlock_detail,
+                           .inv = -1,
+                           .value = {}});
+          } else {
+            trace_.skip();
+          }
+        }
+        break;
+      }
+      const std::size_t idx = [&] {
+        const obs::ScopedPhase choice_scope(prof_.get(),
+                                            obs::Phase::kAdversaryChoice);
+        return adv.choose(*this, events);
+      }();
+      BLUNT_ASSERT(idx < events.size(),
+                   "adversary chose " << idx << " of " << events.size());
+      execute(events[idx]);
     }
-    const std::size_t idx = adv.choose(*this, events);
-    BLUNT_ASSERT(idx < events.size(),
-                 "adversary chose " << idx << " of " << events.size());
-    execute(events[idx]);
+    if (prof_) {
+      prof_->count(obs::ProfCounter::kBytesAllocated, alloc_tally.bytes);
+      prof_->count(obs::ProfCounter::kAllocCalls, alloc_tally.calls);
+    }
   }
-  return {RunStatus::kStepBudgetExhausted, sched_steps_, {}};
+  result.steps = sched_steps_;
+  return result;
 }
 
 InvocationId World::begin_invocation(Pid pid, int object_id,

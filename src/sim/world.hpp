@@ -34,6 +34,7 @@
 #include "common/assert.hpp"
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "sim/coin.hpp"
 #include "sim/delivery.hpp"
 #include "sim/event.hpp"
@@ -69,6 +70,13 @@ struct Config {
   /// order, adversary choices, coin draws, metrics — bit-identical
   /// (hotpath_determinism_test holds this to golden values).
   TraceDetail trace_detail = TraceDetail::kFull;
+  /// Deterministic profiling (obs/prof.hpp): when set, the World owns an
+  /// obs::Profiler that attributes wall time per subsystem phase and keeps
+  /// exact work counters (events scanned, deliveries, alloc bytes, ...).
+  /// Purely observational — schedules, coins, and metrics are unchanged —
+  /// and off by default, where the step-path cost is one null check per
+  /// site (the hotpath experiment gates this).
+  bool profile = false;
 };
 
 enum class RunStatus {
@@ -186,6 +194,9 @@ class World {
   [[nodiscard]] obs::MetricsRegistry* metrics() const {
     return metrics_.get();
   }
+  /// The profiler, or nullptr when Config::profile is off. Same nullable
+  /// discipline as metrics(): every site tolerates nullptr.
+  [[nodiscard]] obs::Profiler* profiler() const { return prof_.get(); }
   [[nodiscard]] const Trace& trace() const { return trace_; }
   [[nodiscard]] Trace& trace_mutable() { return trace_; }
   /// True at full trace detail: instrumentation sites (networks, objects,
@@ -277,6 +288,9 @@ class World {
   // Observability (null / unset unless cfg_.metrics): counter per StepKind
   // cached at construction so the hot path is one branch + one increment.
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  // Deterministic profiler (null unless cfg_.profile); owned per World so
+  // snapshots merge shard-by-shard like metrics registries.
+  std::unique_ptr<obs::Profiler> prof_;
   std::array<obs::Counter*, kNumStepKinds> step_counters_{};
   obs::Counter* random_draw_counter_ = nullptr;
   obs::Histogram* inv_latency_ = nullptr;

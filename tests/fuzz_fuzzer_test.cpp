@@ -131,6 +131,38 @@ TEST(AbdChain, IsAPureFunctionOfItsOptions) {
   }
 }
 
+TEST(AbdChain, CorpusRoundTripPreservesReplayFidelity) {
+  // The corpus-seeded regression replay (tools/blunt_corpus_replay, CI)
+  // depends on violations surviving the journal -> compact -> load round
+  // trip with their replay semantics intact: a reloaded "lin" record must
+  // still complete and still fail the lin check from its shrunk schedule.
+  AbdChainOptions opts;
+  opts.chain_seed = 0;
+  const AbdChainResult r = run_abd_bug_chain(opts);
+  ASSERT_TRUE(r.won);
+  ASSERT_FALSE(r.violations.empty());
+
+  const std::string path = std::string(::testing::TempDir()) +
+                           "blunt_fuzz_replay_corpus.jsonl";
+  std::remove(path.c_str());
+  Corpus c;
+  c.violations = r.violations;
+  write_compacted(c, path);
+  const Corpus back = load_corpus(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.violations.size(), r.violations.size());
+
+  for (const ViolationRecord& v : back.violations) {
+    ASSERT_EQ(v.target, "abd_bug");
+    ASSERT_EQ(v.kind, "lin");
+    const auto& sched = v.shrunk.empty() ? v.schedule : v.shrunk;
+    const AbdReplayOutcome o =
+        replay_abd_bug(sched, v.coin_script, v.coin_tail_seed);
+    EXPECT_EQ(o.status, sim::RunStatus::kCompleted);
+    EXPECT_FALSE(o.lin_ok) << "reloaded violation no longer reproduces";
+  }
+}
+
 TEST(Replay, EmptyScheduleIsHandledNotFatal) {
   // An empty schedule means "pure fallback": the replay adversary extends
   // with first-enabled steps and the run must still be judged cleanly.

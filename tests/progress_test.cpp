@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/engine.hpp"
@@ -206,6 +208,42 @@ TEST(ProgressWatch, RendersAndTerminates) {
     out << progress_to_json(live).dump() << '\n';
   }
   EXPECT_EQ(watch_progress(stuck.path(), 10, stderr, /*max_polls=*/3), 1);
+}
+
+TEST(ProgressWatch, ToleratesTornFinalHeartbeat) {
+  const ProgressSample live = make_sample();
+  ProgressSample fin = live;
+  fin.done = true;
+  fin.complete = true;
+  const std::string fin_line = progress_to_json(fin).dump() + "\n";
+  const std::string head = fin_line.substr(0, fin_line.size() / 2);
+  const std::string tail = fin_line.substr(fin_line.size() / 2);
+
+  // A file ending in a torn heartbeat: the fragment must be skipped (not
+  // parsed, not mistaken for done) and the watch must keep tailing until
+  // max_polls, exactly as if the fragment were absent.
+  TempFile torn("torn");
+  {
+    std::ofstream out(torn.path());
+    out << progress_to_json(live).dump() << '\n' << head;
+  }
+  EXPECT_EQ(watch_progress(torn.path(), 10, stderr, /*max_polls=*/3), 1);
+
+  // The same torn file healed mid-watch: a writer completes the line while
+  // the watch is polling. The watch must stitch the fragment to its tail
+  // and terminate on the now-whole done=true record.
+  TempFile healed("healed");
+  {
+    std::ofstream out(healed.path());
+    out << progress_to_json(live).dump() << '\n' << head;
+  }
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    std::ofstream out(healed.path(), std::ios::app);
+    out << tail;
+  });
+  EXPECT_EQ(watch_progress(healed.path(), 10, stderr, /*max_polls=*/100), 0);
+  writer.join();
 }
 
 }  // namespace

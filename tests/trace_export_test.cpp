@@ -19,10 +19,13 @@ namespace blunt::obs {
 namespace {
 
 /// A real adversarially-scheduled ABD run: spawns, sends, deliveries,
-/// randoms, waits, calls, and returns all appear in the trace.
-std::unique_ptr<sim::World> make_abd_run(std::uint64_t seed) {
+/// randoms, waits, calls, and returns all appear in the trace. `cfg` lets
+/// individual tests run the same workload at reduced trace detail or with
+/// the profiler on.
+std::unique_ptr<sim::World> make_abd_run(std::uint64_t seed,
+                                         sim::Config cfg = sim::Config{}) {
   auto w = std::make_unique<sim::World>(
-      sim::Config{}, std::make_unique<sim::SeededCoin>(seed));
+      cfg, std::make_unique<sim::SeededCoin>(seed));
   auto reg = std::make_shared<objects::AbdRegister>(
       "R", *w,
       objects::AbdRegister::Options{.num_processes = 3,
@@ -160,6 +163,92 @@ TEST(ChromeTrace, IsAValidEventArray) {
   EXPECT_EQ(slices, static_cast<int>(w->invocations().size()));
   EXPECT_EQ(pending, 0);  // the run completed; no open invocation slices
   EXPECT_EQ(instants, w->trace().size());
+}
+
+TEST(ChromeTrace, DegradesGracefullyAtKindsDetail) {
+  // kKinds stores entries without formatted `what` strings: the export must
+  // still be a valid event array with the same shape as kFull, just with
+  // bare kind labels on the instants.
+  const auto w = make_abd_run(
+      11, sim::Config{.trace_detail = sim::TraceDetail::kKinds});
+  const Json doc = Json::parse(chrome_trace_json(*w));
+  ASSERT_TRUE(doc.is_array());
+  int metadata = 0, slices = 0, instants = 0;
+  for (const Json& e : doc.as_array()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "M") {
+      ++metadata;
+    } else if (ph == "X") {
+      ++slices;
+    } else if (ph == "i") {
+      ++instants;
+      // `what` was never formatted, so names degrade to "<kind>: ".
+      EXPECT_EQ(e.at("name").as_string().back(), ' ');
+    }
+  }
+  EXPECT_EQ(metadata, w->process_count());
+  EXPECT_EQ(slices, static_cast<int>(w->invocations().size()));
+  EXPECT_EQ(instants, w->trace().size());
+  // The JSONL export round-trips the kind-only entries unchanged.
+  const std::string jsonl = trace_to_jsonl(w->trace());
+  EXPECT_EQ(trace_to_jsonl(trace_from_jsonl(jsonl)), jsonl);
+}
+
+TEST(ChromeTrace, DegradesGracefullyAtNoneDetail) {
+  // kNone materializes no entries at all (the Monte-Carlo hot path): the
+  // instants vanish, but the invocation slices and per-process tracks —
+  // read from the world, not the trace — survive, and trace indices still
+  // advance so the slices keep meaningful extents.
+  const auto w = make_abd_run(
+      11, sim::Config{.trace_detail = sim::TraceDetail::kNone});
+  ASSERT_TRUE(w->trace().entries().empty());
+  ASSERT_GT(w->trace().size(), 0);  // counted, not stored
+  const Json doc = Json::parse(chrome_trace_json(*w));
+  ASSERT_TRUE(doc.is_array());
+  int metadata = 0, slices = 0, instants = 0;
+  for (const Json& e : doc.as_array()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "M") ++metadata;
+    if (ph == "X") {
+      ++slices;
+      EXPECT_GT(e.at("dur").as_int(), 0);
+    }
+    if (ph == "i") ++instants;
+  }
+  EXPECT_EQ(metadata, w->process_count());
+  EXPECT_EQ(slices, static_cast<int>(w->invocations().size()));
+  EXPECT_EQ(instants, 0);
+  // An empty trace exports as empty JSONL and loads back as empty — no
+  // throw, no phantom entries.
+  EXPECT_EQ(trace_to_jsonl(w->trace()), "");
+  EXPECT_EQ(trace_from_jsonl("").size(), 0);
+}
+
+TEST(ChromeTrace, ProfiledRunCarriesProfilerTrack) {
+  // With Config::profile on, the export grows a second pid (the profiler
+  // track): one thread-name metadata + one slice per phase with calls > 0,
+  // carrying exact call counts in args. An unprofiled run must not have any
+  // pid-1 events (checked implicitly by the exact counts in the tests
+  // above).
+  const auto w = make_abd_run(11, sim::Config{.profile = true});
+  ASSERT_NE(w->profiler(), nullptr);
+  const Json doc = Json::parse(chrome_trace_json(*w));
+  int prof_meta = 0, prof_slices = 0;
+  bool saw_enabled_scan = false;
+  for (const Json& e : doc.as_array()) {
+    if (e.at("pid").as_int() != 1) continue;
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "M") ++prof_meta;
+    if (ph == "X") {
+      ++prof_slices;
+      EXPECT_EQ(e.at("cat").as_string(), "profile");
+      EXPECT_GT(e.at("args").at("calls").as_int(), 0);
+      if (e.at("name").as_string() == "enabled_scan") saw_enabled_scan = true;
+    }
+  }
+  EXPECT_GT(prof_slices, 0);
+  EXPECT_EQ(prof_meta, prof_slices);  // one named track per emitted phase
+  EXPECT_TRUE(saw_enabled_scan);
 }
 
 TEST(WriteTextFile, WritesAndOverwrites) {

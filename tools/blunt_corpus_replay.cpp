@@ -1,0 +1,159 @@
+// blunt_corpus_replay: corpus-seeded regression replay.
+//
+// Loads a fuzz corpus (journal or compacted), re-runs every violation
+// record through the strict replay predicates (fuzz::replay_abd_bug /
+// fuzz::replay_figure1), and exits non-zero if any violation no longer
+// reproduces. This turns the compacted corpus into a regression suite: a
+// scheduler/ABD/checker change that silently changes which schedules are
+// expressible — or fixes/unfixes the planted bug semantics — trips this
+// gate before it lands.
+//
+// Replay prefers the ddmin-shrunk schedule (the canonical counterexample)
+// and falls back to the as-found schedule when shrinking was not recorded.
+// Reproduction criteria per record kind:
+//   * "lin"            — run completes and the history is NOT linearizable
+//   * "deadlock"       — run deadlocks
+//   * "nonterm"        — run exhausts the step budget
+//   * "figure1_branch" — run completes, the program loops, and the forced
+//                        coin branch (the script's final draw) is the one
+//                        that looped
+//
+// Usage: blunt_corpus_replay <corpus.jsonl> [--verbose]
+// Exit status: 0 all violations reproduce (or the corpus has none);
+//              1 at least one violation failed to reproduce;
+//              2 usage / unreadable corpus.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using blunt::fuzz::ViolationRecord;
+
+/// The schedule a record is replayed from: the shrunk counterexample when
+/// present, the as-found schedule otherwise.
+const std::vector<blunt::adversary::EventDescriptor>& replay_schedule(
+    const ViolationRecord& v) {
+  return v.shrunk.empty() ? v.schedule : v.shrunk;
+}
+
+struct ReplayResult {
+  bool reproduced = false;
+  long repairs = 0;
+  std::string detail;
+};
+
+ReplayResult replay_one(const ViolationRecord& v) {
+  ReplayResult r;
+  if (v.target == "abd_bug") {
+    const blunt::fuzz::AbdReplayOutcome o = blunt::fuzz::replay_abd_bug(
+        replay_schedule(v), v.coin_script, v.coin_tail_seed);
+    r.repairs = o.repairs;
+    if (v.kind == "lin") {
+      r.reproduced =
+          o.status == blunt::sim::RunStatus::kCompleted && !o.lin_ok;
+      r.detail = std::string("status=") + blunt::sim::to_string(o.status) +
+                 " lin_ok=" + (o.lin_ok ? "true" : "false");
+    } else if (v.kind == "deadlock") {
+      r.reproduced = o.status == blunt::sim::RunStatus::kDeadlock;
+      r.detail = std::string("status=") + blunt::sim::to_string(o.status);
+    } else if (v.kind == "nonterm") {
+      r.reproduced = o.status == blunt::sim::RunStatus::kStepBudgetExhausted;
+      r.detail = std::string("status=") + blunt::sim::to_string(o.status);
+    } else {
+      r.detail = "unknown kind \"" + v.kind + "\" for target abd_bug";
+    }
+    return r;
+  }
+  if (v.target == "figure1") {
+    const blunt::fuzz::Figure1ReplayOutcome o = blunt::fuzz::replay_figure1(
+        replay_schedule(v), v.coin_script, v.coin_tail_seed);
+    r.repairs = o.repairs;
+    if (v.kind == "figure1_branch" && !v.coin_script.empty()) {
+      const int forced = v.coin_script.back();
+      r.reproduced = o.status == blunt::sim::RunStatus::kCompleted &&
+                     o.looped && o.coin == forced;
+      r.detail = std::string("status=") + blunt::sim::to_string(o.status) +
+                 " looped=" + (o.looped ? "true" : "false") +
+                 " coin=" + std::to_string(o.coin) +
+                 " forced=" + std::to_string(forced);
+    } else {
+      r.detail = "unknown kind \"" + v.kind + "\" for target figure1";
+    }
+    return r;
+  }
+  r.detail = "unknown target \"" + v.target + "\"";
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s <corpus.jsonl> [--verbose]\n"
+                   "  replays every corpus violation through the strict\n"
+                   "  replay predicates; exits 1 on any non-reproduction\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s <corpus.jsonl> [--verbose]\n", argv[0]);
+    return 2;
+  }
+
+  blunt::fuzz::Corpus corpus;
+  try {
+    corpus = blunt::fuzz::load_corpus(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "blunt_corpus_replay: cannot load %s: %s\n",
+                 path.c_str(), e.what());
+    return 2;
+  }
+
+  std::printf(
+      "blunt_corpus_replay: %s — %zu violation(s), %zu seed entr(ies), "
+      "%d skipped line(s)\n",
+      path.c_str(), corpus.violations.size(), corpus.entries.size(),
+      corpus.skipped_lines);
+
+  int failed = 0;
+  long total_repairs = 0;
+  for (std::size_t i = 0; i < corpus.violations.size(); ++i) {
+    const ViolationRecord& v = corpus.violations[i];
+    const ReplayResult r = replay_one(v);
+    total_repairs += r.repairs;
+    if (!r.reproduced) ++failed;
+    if (!r.reproduced || verbose) {
+      std::printf("  [%s] #%zu %s/%s chain=%llu sched=%zu shrunk=%zu %s\n",
+                  r.reproduced ? "ok" : "FAIL", i, v.target.c_str(),
+                  v.kind.c_str(), static_cast<unsigned long long>(v.chain_seed),
+                  v.schedule.size(), v.shrunk.size(), r.detail.c_str());
+    }
+  }
+
+  if (failed > 0) {
+    std::fprintf(stderr,
+                 "blunt_corpus_replay: %d of %zu violation(s) no longer "
+                 "reproduce (%ld replay repair(s))\n",
+                 failed, corpus.violations.size(), total_repairs);
+    return 1;
+  }
+  std::printf(
+      "blunt_corpus_replay: all %zu violation(s) reproduce "
+      "(%ld replay repair(s))\n",
+      corpus.violations.size(), total_repairs);
+  return 0;
+}

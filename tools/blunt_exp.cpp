@@ -4,7 +4,8 @@
 //   blunt_exp run <experiment> [--threads N] [--trials N] [--seed S]
 //                 [--shard-size N] [--checkpoint FILE] [--max-shards N]
 //                 [--timing-sweep T1,T2,...] [--bench-dir DIR]
-//                 [--coverage] [--progress FILE] [--progress-interval MS]
+//                 [--coverage] [--profile]
+//                 [--progress FILE] [--progress-interval MS]
 //   blunt_exp watch FILE [--poll MS]
 //
 // Runs a registered experiment on the deterministic parallel engine
@@ -28,6 +29,13 @@
 // appends live heartbeat JSONL (exp/progress.hpp schema) from a sampler
 // thread; `blunt_exp watch FILE` tails such a file into a one-line status
 // display and exits when the run's final done=true record lands.
+//
+// --profile turns on the deterministic profiler (obs/prof.hpp): trial worlds
+// attribute work to per-subsystem phases and exact counters, the report
+// gains profile.* metrics plus the structured "profile" section, and a
+// collapsed-stack flamegraph lands next to the report as
+// BENCH_<name>.flame.txt. Exact profile counters are bit-identical for every
+// --threads value; the nanosecond timings are advisory wall-clock.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,7 +66,8 @@ int usage(const char* argv0) {
       "       %s run <experiment> [--threads N] [--trials N] [--seed S]\n"
       "           [--shard-size N] [--checkpoint FILE] [--max-shards N]\n"
       "           [--timing-sweep T1,T2,...] [--bench-dir DIR]\n"
-      "           [--coverage] [--progress FILE] [--progress-interval MS]\n"
+      "           [--coverage] [--profile]\n"
+      "           [--progress FILE] [--progress-interval MS]\n"
       "       %s watch FILE [--poll MS]\n",
       argv0, argv0, argv0);
   return 2;
@@ -140,6 +149,8 @@ int main(int argc, char** argv) {
       setenv("BLUNT_BENCH_DIR", value(), /*overwrite=*/1);
     } else if (flag == "--coverage") {
       opts.coverage = true;
+    } else if (flag == "--profile") {
+      opts.profile = true;
     } else if (flag == "--progress") {
       opts.progress_path = value();
     } else if (flag == "--progress-interval") {

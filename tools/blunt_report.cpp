@@ -368,9 +368,11 @@ struct FuzzView {
   return fv;
 }
 
-/// Inline SVG of the coverage-growth curve (cumulative unique fingerprints
-/// vs shard index) — same footprint as the ledger sparklines.
-[[nodiscard]] std::string curve_svg(const std::vector<double>& ys) {
+/// Inline SVG of a small line chart (coverage growth, cost-vs-n) — same
+/// footprint as the ledger sparklines. `label` seeds the hover title.
+[[nodiscard]] std::string curve_svg(
+    const std::vector<double>& ys,
+    const std::string& label = "unique schedules after each shard") {
   constexpr double kW = 240.0, kH = 40.0, kPad = 4.0;
   if (ys.size() < 2) return "";
   double lo = ys.front(), hi = ys.front();
@@ -389,12 +391,82 @@ struct FuzzView {
     points += fmt(x) + "," + fmt(y) + " ";
   }
   return "<svg class=\"spark\" width=\"" + fmt(kW) + "\" height=\"" + fmt(kH) +
-         "\" viewBox=\"0 0 " + fmt(kW) + " " + fmt(kH) +
-         "\"><title>unique schedules after each shard (" + fmt(ys.front()) +
-         " → " + fmt(ys.back()) +
+         "\" viewBox=\"0 0 " + fmt(kW) + " " + fmt(kH) + "\"><title>" +
+         html_escape(label) + " (" + fmt(ys.front()) + " → " + fmt(ys.back()) +
          ")</title><polyline fill=\"none\" stroke=\"#6a8f52\" "
          "stroke-width=\"1.5\" points=\"" +
          points + "\"/></svg>";
+}
+
+// -- Deterministic profiling -------------------------------------------------
+
+/// One phase of one named snapshot from a report's "profile" section.
+struct ProfilePhaseRow {
+  std::string snapshot, phase;
+  double calls = 0, ns = 0;
+};
+
+/// One n-group of scaling_probe's `metrics.scaling_rows` chart data.
+struct ProfileScalingRow {
+  double n = 0, steps = 0;
+  double scans = 0, quorum = 0, deliv = 0, scan_ns = 0;  // all per step
+};
+
+/// Everything the renderers need from a report's profiling instrumentation
+/// (empty `present` for profile-off runs — the section simply isn't drawn).
+/// `scaling` is non-empty only for scaling_probe reports, which publish the
+/// structured cost-vs-n rows alongside their snapshots.
+struct ProfileView {
+  bool present = false;
+  std::vector<ProfilePhaseRow> phases;
+  std::vector<ProfileScalingRow> scaling;
+};
+
+[[nodiscard]] ProfileView profile_view(const Json& report) {
+  ProfileView pv;
+  const Json* prof = report.find("profile");
+  if (prof == nullptr || !prof->is_object()) return pv;
+  pv.present = true;
+  for (const auto& [snap_name, snap] : prof->as_object()) {
+    if (!snap.is_object()) continue;
+    const Json* ph = snap.find("phases");
+    if (ph == nullptr || !ph->is_object()) continue;
+    for (const auto& [phase, stat] : ph->as_object()) {
+      if (!stat.is_object()) continue;
+      ProfilePhaseRow row;
+      row.snapshot = snap_name;
+      row.phase = phase;
+      if (const Json* c = stat.find("calls"); c && c->is_number()) {
+        row.calls = c->as_double();
+      }
+      if (const Json* ns = stat.find("ns"); ns && ns->is_number()) {
+        row.ns = ns->as_double();
+      }
+      pv.phases.push_back(std::move(row));
+    }
+  }
+  const Json* metrics = report.find("metrics");
+  const Json* rows = metrics != nullptr && metrics->is_object()
+                         ? metrics->find("scaling_rows")
+                         : nullptr;
+  if (rows != nullptr && rows->is_array()) {
+    for (const Json& r : rows->as_array()) {
+      if (!r.is_object()) continue;
+      const auto num = [&r](const char* key) {
+        const Json* v = r.find(key);
+        return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+      };
+      ProfileScalingRow s;
+      s.n = num("n");
+      s.steps = num("steps");
+      s.scans = num("events_scanned_per_step");
+      s.quorum = num("quorum_touches_per_step");
+      s.deliv = num("deliveries_per_step");
+      s.scan_ns = num("enabled_scan_ns_per_step");
+      pv.scaling.push_back(s);
+    }
+  }
+  return pv;
 }
 
 [[nodiscard]] const char* verdict_css(obs::Verdict v) {
@@ -503,6 +575,38 @@ std::string build_markdown(const std::vector<BenchState>& benches,
        << fmt(fv.shrunk) << " | " << fmt(fv.repairs) << " | "
        << cell(fv.abd_cost) << " | " << cell(fv.abd_speedup) << " | "
        << cell(fv.fig1_cost) << " | " << cell(fv.fig1_speedup) << " |\n";
+  }
+  md << "\n## Deterministic profiling\n\n";
+  bool any_prof = false;
+  for (const auto& b : benches) {
+    const ProfileView pv = profile_view(b.current);
+    if (!pv.present) continue;
+    if (!any_prof) {
+      md << "| bench | snapshot | phase | calls | ms (advisory) |\n";
+      md << "|---|---|---|---|---|\n";
+      any_prof = true;
+    }
+    for (const auto& row : pv.phases) {
+      md << "| " << b.name << " | " << row.snapshot << " | `" << row.phase
+         << "` | " << fmt(row.calls) << " | " << fmt(row.ns / 1e6) << " |\n";
+    }
+  }
+  if (!any_prof) {
+    md << "(no profiled reports — run with `blunt_exp run <exp> "
+          "--profile`)\n";
+  }
+  for (const auto& b : benches) {
+    const ProfileView pv = profile_view(b.current);
+    if (pv.scaling.empty()) continue;
+    md << "\n### Cost vs n — " << b.name << "\n\n";
+    md << "| n | steps | scans/step | quorum/step | deliveries/step | scan "
+          "ns/step |\n";
+    md << "|---|---|---|---|---|---|\n";
+    for (const auto& s : pv.scaling) {
+      md << "| " << fmt(s.n) << " | " << fmt(s.steps) << " | " << fmt(s.scans)
+         << " | " << fmt(s.quorum) << " | " << fmt(s.deliv) << " | "
+         << fmt(s.scan_ns) << " |\n";
+    }
   }
   md << "\n## Baselines\n\n";
   for (const auto& b : benches) {
@@ -654,6 +758,54 @@ std::string build_html(const std::vector<BenchState>& benches,
          << "</td></tr>\n";
   }
   if (any_fuzz) html << "</table>\n";
+
+  // Deterministic profiling: per-subsystem cost attribution (exact call
+  // counts, advisory wall time) plus scaling_probe's cost-vs-n chart — the
+  // before/after yardstick for scheduler-scan optimizations.
+  bool any_prof = false;
+  for (const auto& b : benches) {
+    const ProfileView pv = profile_view(b.current);
+    if (!pv.present) continue;
+    if (!any_prof) {
+      html << "<h2>Deterministic profiling</h2>\n<table><tr><th>bench</th>"
+              "<th>snapshot</th><th>phase</th><th>calls</th>"
+              "<th>ms (advisory)</th></tr>\n";
+      any_prof = true;
+    }
+    for (const auto& row : pv.phases) {
+      html << "<tr><td>" << html_escape(b.name) << "</td><td>"
+           << html_escape(row.snapshot) << "</td><td><code>"
+           << html_escape(row.phase) << "</code></td><td>" << fmt(row.calls)
+           << "</td><td>" << fmt(row.ns / 1e6) << "</td></tr>\n";
+    }
+  }
+  if (any_prof) html << "</table>\n";
+  for (const auto& b : benches) {
+    const ProfileView pv = profile_view(b.current);
+    if (pv.scaling.empty()) continue;
+    html << "<h2>Cost vs n &mdash; " << html_escape(b.name)
+         << "</h2>\n<table><tr><th>n</th><th>steps</th><th>scans/step</th>"
+            "<th>quorum/step</th><th>deliveries/step</th>"
+            "<th>scan ns/step</th></tr>\n";
+    std::vector<double> scan_curve, quorum_curve;
+    for (const auto& s : pv.scaling) {
+      scan_curve.push_back(s.scans);
+      quorum_curve.push_back(s.quorum);
+      html << "<tr><td>" << fmt(s.n) << "</td><td>" << fmt(s.steps)
+           << "</td><td>" << fmt(s.scans) << "</td><td>" << fmt(s.quorum)
+           << "</td><td>" << fmt(s.deliv) << "</td><td>" << fmt(s.scan_ns)
+           << "</td></tr>\n";
+    }
+    html << "<tr><td colspan=\"2\">events scanned/step vs n</td><td "
+            "colspan=\"4\">"
+         << curve_svg(scan_curve, "events scanned per step vs n")
+         << "</td></tr>\n";
+    html << "<tr><td colspan=\"2\">quorum touches/step vs n</td><td "
+            "colspan=\"4\">"
+         << curve_svg(quorum_curve, "quorum-map touches per step vs n")
+         << "</td></tr>\n";
+    html << "</table>\n";
+  }
 
   // Per-bench sparklines across ledger entries (i.e. across commits).
   for (const auto& b : benches) {
