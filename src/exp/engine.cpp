@@ -21,17 +21,8 @@
 
 namespace blunt::exp {
 
-namespace {
-
-struct Layout {
-  std::int64_t trials = 0;
-  std::uint64_t seed = 0;
-  int shard_size = 0;
-  std::int64_t num_shards = 0;
-};
-
-[[nodiscard]] Layout make_layout(const Experiment& e, const RunOptions& opts) {
-  Layout l;
+ShardLayout resolve_layout(const Experiment& e, const RunOptions& opts) {
+  ShardLayout l;
   l.trials = opts.trials >= 0 ? opts.trials : e.default_trials;
   if (e.resolve_trials) l.trials = e.resolve_trials(opts.trials);
   BLUNT_ASSERT(l.trials >= 0, "negative trial count");
@@ -43,12 +34,14 @@ struct Layout {
   return l;
 }
 
+namespace {
+
 /// One shard, run on whichever worker claimed it. The result depends only on
 /// (experiment, layout, shard index, coverage/profile flags). `trials_done`
 /// is telemetry-only (nullptr when no --progress): the increment is outside
 /// every per-trial computation, so progress reporting cannot perturb trial
 /// results.
-[[nodiscard]] Accumulator run_shard(const Experiment& e, const Layout& l,
+[[nodiscard]] Accumulator run_shard(const Experiment& e, const ShardLayout& l,
                                     std::int64_t shard, bool coverage,
                                     bool profile,
                                     std::atomic<std::int64_t>* trials_done) {
@@ -108,7 +101,7 @@ struct ProgressSink {
 };
 
 [[nodiscard]] ProgressSample make_progress_sample(
-    const Experiment& e, const Layout& l, int threads, ProgressState& st,
+    const Experiment& e, const ShardLayout& l, int threads, ProgressState& st,
     const ProgressSink& sink, double t_ms) {
   ProgressSample s;
   s.experiment = e.name;
@@ -141,8 +134,10 @@ struct ProgressSink {
 
 constexpr const char* kShardSchema = "blunt-exp-shard";
 
-[[nodiscard]] obs::Json shard_line(const Experiment& e, const Layout& l,
-                                   std::int64_t shard, const Accumulator& acc) {
+}  // namespace
+
+obs::Json shard_checkpoint_line(const Experiment& e, const ShardLayout& l,
+                                std::int64_t shard, const Accumulator& acc) {
   obs::JsonObject o;
   o["schema"] = obs::Json(kShardSchema);
   o["experiment"] = obs::Json(e.name);
@@ -154,11 +149,8 @@ constexpr const char* kShardSchema = "blunt-exp-shard";
   return obs::Json(std::move(o));
 }
 
-/// Loads every checkpointed shard matching (experiment, seed, trials,
-/// shard_size); mismatched or corrupted lines are skipped (a stale
-/// checkpoint never poisons a run — its shards simply re-run).
-[[nodiscard]] std::map<std::int64_t, Accumulator> load_checkpoint(
-    const std::string& path, const Experiment& e, const Layout& l) {
+std::map<std::int64_t, Accumulator> load_shard_checkpoint(
+    const std::string& path, const Experiment& e, const ShardLayout& l) {
   std::map<std::int64_t, Accumulator> shards;
   std::ifstream in(path);
   if (!in) return shards;
@@ -199,6 +191,36 @@ constexpr const char* kShardSchema = "blunt-exp-shard";
   return shards;
 }
 
+Accumulator run_one_shard(const Experiment& e, const ShardLayout& l,
+                          std::int64_t shard, bool coverage, bool profile) {
+  BLUNT_ASSERT(shard >= 0 && shard < l.num_shards,
+               "shard " << shard << " outside layout of " << l.num_shards);
+  return run_shard(e, l, shard, coverage, profile, nullptr);
+}
+
+Accumulator fold_shards(std::vector<Accumulator> shard_accs,
+                        std::map<std::string, std::vector<std::int64_t>>* growth) {
+  std::set<std::string> keys;
+  if (growth != nullptr) {
+    for (const Accumulator& acc : shard_accs) {
+      for (const auto& [name, m] : acc.coverage_maps()) keys.insert(name);
+    }
+  }
+  Accumulator merged;
+  for (const Accumulator& acc : shard_accs) {
+    merged.merge(acc);
+    if (growth != nullptr) {
+      for (const std::string& k : keys) {
+        (*growth)[k].push_back(
+            static_cast<std::int64_t>(merged.coverage(k).size()));
+      }
+    }
+  }
+  return merged;
+}
+
+namespace {
+
 struct PassResult {
   std::vector<Accumulator> shard_accs;  // indexed by shard
   int shards_executed = 0;
@@ -208,7 +230,7 @@ struct PassResult {
 
 /// Worker count for a pass — capped by the shard count so steal telemetry
 /// never reports idle phantom workers.
-[[nodiscard]] int pass_workers(const Layout& l, int threads) {
+[[nodiscard]] int pass_workers(const ShardLayout& l, int threads) {
   return static_cast<int>(std::min<std::int64_t>(
       std::max(1, threads), std::max<std::int64_t>(1, l.num_shards)));
 }
@@ -219,7 +241,7 @@ struct PassResult {
 /// `progress` (may be null) only receives telemetry writes — it never feeds
 /// back into what a shard computes.
 [[nodiscard]] PassResult run_pass(
-    const Experiment& e, const Layout& l, int threads,
+    const Experiment& e, const ShardLayout& l, int threads,
     const std::map<std::int64_t, Accumulator>& resumed,
     std::ofstream* checkpoint, int max_shards, bool coverage, bool profile,
     ProgressState* progress) {
@@ -262,7 +284,7 @@ struct PassResult {
       Accumulator acc = run_shard(e, l, s, coverage, profile, trials_done);
       if (checkpoint != nullptr) {
         const std::lock_guard<std::mutex> lock(writer_mu);
-        *checkpoint << shard_line(e, l, s, acc).dump() << '\n';
+        *checkpoint << shard_checkpoint_line(e, l, s, acc).dump() << '\n';
         checkpoint->flush();
       }
       if (progress != nullptr) {
@@ -293,39 +315,12 @@ struct PassResult {
   return pass;
 }
 
-/// Post-barrier aggregation: a left fold in ascending shard order — the
-/// fixed merge tree that makes results thread-count-independent. When
-/// `growth` is non-null, records the cumulative unique-fingerprint count per
-/// coverage key after each shard merges — the coverage-growth curve, computed
-/// inside the same fixed fold so it inherits its thread-count independence.
-[[nodiscard]] Accumulator fold(
-    std::vector<Accumulator> shard_accs,
-    std::map<std::string, std::vector<std::int64_t>>* growth = nullptr) {
-  std::set<std::string> keys;
-  if (growth != nullptr) {
-    for (const Accumulator& acc : shard_accs) {
-      for (const auto& [name, m] : acc.coverage_maps()) keys.insert(name);
-    }
-  }
-  Accumulator merged;
-  for (const Accumulator& acc : shard_accs) {
-    merged.merge(acc);
-    if (growth != nullptr) {
-      for (const std::string& k : keys) {
-        (*growth)[k].push_back(
-            static_cast<std::int64_t>(merged.coverage(k).size()));
-      }
-    }
-  }
-  return merged;
-}
-
 /// The sampler thread: appends one heartbeat line per interval until told to
 /// stop. Owned by run_trials; lives strictly outside the worker barrier's
 /// data (it only reads ProgressState).
 class ProgressSampler {
  public:
-  ProgressSampler(const Experiment& e, const Layout& l, int threads,
+  ProgressSampler(const Experiment& e, const ShardLayout& l, int threads,
                   ProgressState& st, const ProgressSink& sink)
       : e_(e), l_(l), threads_(threads), st_(st), sink_(sink) {
     thread_ = std::thread([this] { loop(); });
@@ -374,7 +369,7 @@ class ProgressSampler {
   }
 
   const Experiment& e_;
-  const Layout& l_;
+  const ShardLayout& l_;
   int threads_;
   ProgressState& st_;
   ProgressSink sink_;
@@ -390,12 +385,12 @@ class ProgressSampler {
 RunOutput run_trials(const Experiment& e, const RunOptions& opts) {
   BLUNT_ASSERT(e.trial != nullptr || e.default_trials == 0,
                "experiment " << e.name << " has no trial body");
-  const Layout l = make_layout(e, opts);
+  const ShardLayout l = resolve_layout(e, opts);
 
   std::map<std::int64_t, Accumulator> resumed;
   std::ofstream checkpoint_out;
   if (!opts.checkpoint_path.empty()) {
-    resumed = load_checkpoint(opts.checkpoint_path, e, l);
+    resumed = load_shard_checkpoint(opts.checkpoint_path, e, l);
     checkpoint_out.open(opts.checkpoint_path, std::ios::app);
     BLUNT_ASSERT(checkpoint_out.good(),
                  "cannot open checkpoint " << opts.checkpoint_path);
@@ -444,8 +439,8 @@ RunOutput run_trials(const Experiment& e, const RunOptions& opts) {
   out.info.complete = main_pass.complete;
   out.info.coverage = opts.coverage;
   out.info.profile = opts.profile;
-  out.merged = fold(std::move(main_pass.shard_accs),
-                    opts.coverage ? &out.info.coverage_growth : nullptr);
+  out.merged = fold_shards(std::move(main_pass.shard_accs),
+                           opts.coverage ? &out.info.coverage_growth : nullptr);
 
   if (!opts.checkpoint_path.empty()) {
     checkpoint_out.close();
@@ -466,7 +461,8 @@ RunOutput run_trials(const Experiment& e, const RunOptions& opts) {
       out.info.sweep_wall_ms.emplace_back(std::max(1, t), sweep.wall_ms);
       // Built-in determinism self-check: every thread count must produce
       // the same merged bits.
-      const std::string got = fold(std::move(sweep.shard_accs)).canonical_dump();
+      const std::string got =
+          fold_shards(std::move(sweep.shard_accs)).canonical_dump();
       BLUNT_ASSERT(got == want, "timing sweep at " << t << " threads diverged "
                                 << "from the main pass — determinism bug");
     }

@@ -11,19 +11,8 @@
 
 namespace blunt::exp {
 
-int run_and_report(const Experiment& e, const RunOptions& opts) {
-  const RunOutput out = run_trials(e, opts);
-
-  if (!out.info.complete) {
-    std::printf(
-        "%s: shard budget reached — %d/%d shards done (%d this run, %d "
-        "resumed); rerun with the same --checkpoint to continue\n",
-        e.name.c_str(), out.info.shards_resumed + out.info.shards_executed,
-        out.info.shards_total, out.info.shards_executed,
-        out.info.shards_resumed);
-    return 0;
-  }
-
+int finalize_and_report(const Experiment& e, const RunOutput& out,
+                        const std::function<void(obs::BenchReport&)>& decorate) {
   obs::BenchReport report(e.name);
   int rc = 0;
   if (e.finalize) rc = e.finalize(report, out.merged, out.info);
@@ -45,6 +34,7 @@ int run_and_report(const Experiment& e, const RunOptions& opts) {
   for (const auto& [threads, ms] : out.info.sweep_wall_ms) {
     report.add_timing_ms("engine_trials_t" + std::to_string(threads), ms);
   }
+  if (decorate) decorate(report);
 
   write_report(report);
 
@@ -69,6 +59,22 @@ int run_and_report(const Experiment& e, const RunOptions& opts) {
     }
   }
   return rc;
+}
+
+int run_and_report(const Experiment& e, const RunOptions& opts) {
+  const RunOutput out = run_trials(e, opts);
+
+  if (!out.info.complete) {
+    std::printf(
+        "%s: shard budget reached — %d/%d shards done (%d this run, %d "
+        "resumed); rerun with the same --checkpoint to continue\n",
+        e.name.c_str(), out.info.shards_resumed + out.info.shards_executed,
+        out.info.shards_total, out.info.shards_executed,
+        out.info.shards_resumed);
+    return 0;
+  }
+
+  return finalize_and_report(e, out);
 }
 
 int run_registered(const std::string& name, const RunOptions& opts) {

@@ -1,13 +1,11 @@
 #include "fuzz/corpus.hpp"
 
 #include "obs/coverage.hpp"
+#include "obs/lockfile.hpp"
 
-#include <fcntl.h>
-#include <sys/file.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -127,29 +125,16 @@ class Fnv {
   std::uint64_t h_ = 0xcbf29ce484222325ULL;
 };
 
-/// The ledger's torn-line defense, verbatim: O_APPEND + one write() under an
-/// advisory flock. See obs/ledger.cpp for the full rationale.
+/// The ledger's torn-line defense: O_APPEND + one write() under the hardened
+/// bounded-retry flock (obs/lockfile.hpp — EINTR-safe, contention counted in
+/// obs::lock_retries()).
 void append_line(const std::string& path, const std::string& line) {
-  const int fd = ::open(path.c_str(),
-                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
-  if (fd < 0) throw std::runtime_error("fuzz corpus: cannot open " + path);
-  const bool locked = ::flock(fd, LOCK_EX) == 0;
-  const char* p = line.data();
-  std::size_t left = line.size();
-  while (left > 0) {
-    const ssize_t n = ::write(fd, p, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (locked) ::flock(fd, LOCK_UN);
-      ::close(fd);
-      throw std::runtime_error("fuzz corpus: write failed for " + path);
-    }
-    p += n;
-    left -= static_cast<std::size_t>(n);
-  }
-  if (locked) ::flock(fd, LOCK_UN);
-  if (::close(fd) != 0) {
-    throw std::runtime_error("fuzz corpus: close failed for " + path);
+  obs::LockRetryPolicy p;
+  p.seed = static_cast<std::uint64_t>(::getpid());
+  try {
+    obs::locked_append(path, line, p);
+  } catch (const std::exception&) {
+    throw std::runtime_error("fuzz corpus: append failed for " + path);
   }
 }
 

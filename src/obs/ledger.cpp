@@ -1,13 +1,11 @@
 #include "obs/ledger.hpp"
 
+#include "obs/lockfile.hpp"
 #include "obs/report.hpp"
 
-#include <fcntl.h>
-#include <sys/file.h>
 #include <unistd.h>
 
 #include <cctype>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -128,30 +126,15 @@ void append_entry(const std::string& path, const LedgerEntry& e) {
   //      still holding the lock, keeping the line contiguous.
   // The experiment engine additionally routes all of a run's shard results
   // through a single aggregator-side append, so engine parallelism never
-  // multiplies writers in the first place.
-  const std::string line = entry_to_json(e).dump() + "\n";
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
-                        0644);
-  if (fd < 0) throw std::runtime_error("ledger: cannot open " + path);
-  // Best-effort advisory lock: a filesystem refusing flock (ENOTSUP) still
-  // gets the O_APPEND single-write behavior.
-  const bool locked = ::flock(fd, LOCK_EX) == 0;
-  const char* p = line.data();
-  std::size_t left = line.size();
-  while (left > 0) {
-    const ssize_t n = ::write(fd, p, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (locked) ::flock(fd, LOCK_UN);
-      ::close(fd);
-      throw std::runtime_error("ledger: write failed for " + path);
-    }
-    p += n;
-    left -= static_cast<std::size_t>(n);
-  }
-  if (locked) ::flock(fd, LOCK_UN);
-  if (::close(fd) != 0) {
-    throw std::runtime_error("ledger: close failed for " + path);
+  // multiplies writers in the first place. The flock acquisition is the
+  // hardened bounded-retry one (obs/lockfile.hpp): contended or interrupted
+  // attempts back off with pid-seeded jitter and count into lock_retries().
+  LockRetryPolicy p;
+  p.seed = static_cast<std::uint64_t>(::getpid());
+  try {
+    locked_append(path, entry_to_json(e).dump() + "\n", p);
+  } catch (const std::exception&) {
+    throw std::runtime_error("ledger: append failed for " + path);
   }
 }
 

@@ -1,0 +1,91 @@
+#include "obs/lockfile.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <stdexcept>
+
+namespace blunt::obs {
+
+namespace {
+
+std::atomic<std::int64_t> g_lock_retries{0};
+
+[[nodiscard]] std::uint64_t splitmix64_local(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::int64_t lock_backoff_us(const LockRetryPolicy& p, int attempt) {
+  if (attempt < 0) attempt = 0;
+  if (attempt > 20) attempt = 20;  // cap the exponent, not the caller
+  const std::int64_t base = p.base_backoff_us > 0 ? p.base_backoff_us : 1;
+  const std::int64_t exp = base << attempt;
+  const std::uint64_t jitter = splitmix64_local(
+      p.seed ^ (0x6c6f636bULL + static_cast<std::uint64_t>(attempt)));
+  return exp + static_cast<std::int64_t>(
+                   jitter % static_cast<std::uint64_t>(exp));
+}
+
+bool acquire_file_lock(int fd, const LockRetryPolicy& p) {
+  for (int attempt = 0; attempt < p.max_retries; ++attempt) {
+    if (::flock(fd, LOCK_EX | LOCK_NB) == 0) return true;
+    if (errno != EWOULDBLOCK && errno != EINTR) return false;  // ENOTSUP etc.
+    g_lock_retries.fetch_add(1, std::memory_order_relaxed);
+    ::usleep(static_cast<useconds_t>(lock_backoff_us(p, attempt)));
+  }
+  // Final blocking attempt: EINTR here means "interrupted while waiting",
+  // not "unavailable" — retry (counted), never abandon the lock to a signal.
+  while (::flock(fd, LOCK_EX) != 0) {
+    if (errno != EINTR) return false;
+    g_lock_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void release_file_lock(int fd) {
+  while (::flock(fd, LOCK_UN) != 0 && errno == EINTR) {
+  }
+}
+
+void locked_append(const std::string& path, const std::string& line,
+                   const LockRetryPolicy& p) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) throw std::runtime_error("locked_append: cannot open " + path);
+  const bool locked = acquire_file_lock(fd, p);
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (locked) release_file_lock(fd);
+      ::close(fd);
+      throw std::runtime_error("locked_append: write failed for " + path);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (locked) release_file_lock(fd);
+  if (::close(fd) != 0) {
+    throw std::runtime_error("locked_append: close failed for " + path);
+  }
+}
+
+std::int64_t lock_retries() {
+  return g_lock_retries.load(std::memory_order_relaxed);
+}
+
+void reset_lock_retries() {
+  g_lock_retries.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace blunt::obs

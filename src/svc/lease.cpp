@@ -1,0 +1,274 @@
+#include "svc/lease.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "obs/coverage.hpp"
+#include "obs/lockfile.hpp"
+
+namespace blunt::svc {
+
+namespace {
+
+[[nodiscard]] std::int64_t system_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Parses one journal line into a record iff it matches this run's identity.
+[[nodiscard]] bool parse_lease_line(const std::string& line,
+                                    const exp::Experiment& e,
+                                    const exp::ShardLayout& l,
+                                    LeaseRecord* out) {
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return false;
+  try {
+    const obs::Json j = obs::Json::parse(line);
+    const obs::Json* schema = j.find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->as_string() != kLeaseSchema) {
+      return false;
+    }
+    if (j.at("experiment").as_string() != e.name ||
+        obs::fingerprint_from_hex(j.at("seed").as_string()) != l.seed ||
+        j.at("trials").as_int() != l.trials ||
+        j.at("shard_size").as_int() != l.shard_size) {
+      return false;
+    }
+    LeaseRecord r;
+    r.action = j.at("action").as_string();
+    r.shard = j.at("shard").as_int();
+    r.worker = j.at("worker").as_string();
+    r.pid = j.at("pid").as_int();
+    r.ts_ms = j.at("ts_ms").as_int();
+    if (r.action != "finalize" && (r.shard < 0 || r.shard >= l.num_shards)) {
+      return false;
+    }
+    *out = std::move(r);
+    return true;
+  } catch (const std::exception&) {
+    return false;  // torn line from a killed writer: skip, never crash
+  }
+}
+
+[[nodiscard]] std::vector<LeaseRecord> read_records_from(
+    const std::string& path, const exp::Experiment& e,
+    const exp::ShardLayout& l) {
+  std::vector<LeaseRecord> records;
+  std::ifstream in(path);
+  if (!in) return records;  // no journal yet: empty table
+  std::string line;
+  while (std::getline(in, line)) {
+    LeaseRecord r;
+    if (parse_lease_line(line, e, l, &r)) records.push_back(std::move(r));
+  }
+  return records;
+}
+
+/// RAII flock window over the journal file. The fd doubles as the append
+/// target so the read-check-append of claim() is one atomic step.
+class LockedJournal {
+ public:
+  LockedJournal(const std::string& path, std::uint64_t backoff_seed) {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+      throw std::runtime_error("lease journal: cannot open " + path);
+    }
+    obs::LockRetryPolicy p;
+    p.seed = backoff_seed;
+    if (!obs::acquire_file_lock(fd_, p)) {
+      ::close(fd_);
+      throw std::runtime_error("lease journal: cannot lock " + path);
+    }
+  }
+  ~LockedJournal() {
+    obs::release_file_lock(fd_);
+    ::close(fd_);
+  }
+  LockedJournal(const LockedJournal&) = delete;
+  LockedJournal& operator=(const LockedJournal&) = delete;
+
+  void append(const std::string& line) const {
+    const char* data = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, data, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error("lease journal: append failed");
+      }
+      data += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace
+
+std::string default_worker_id() {
+  char host[256] = {};
+  if (::gethostname(host, sizeof(host) - 1) != 0 || host[0] == '\0') {
+    host[0] = '?';
+    host[1] = '\0';
+  }
+  return std::string(host) + ":" + std::to_string(::getpid());
+}
+
+obs::Json lease_record_to_json(const exp::Experiment& e,
+                               const exp::ShardLayout& l,
+                               const LeaseRecord& r) {
+  obs::JsonObject o;
+  o["schema"] = obs::Json(kLeaseSchema);
+  o["version"] = obs::Json(kLeaseVersion);
+  o["experiment"] = obs::Json(e.name);
+  // Hex for the same reason progress records use it: a uint64 above 2^53
+  // does not survive a double round trip.
+  o["seed"] = obs::Json(obs::fingerprint_to_hex(l.seed));
+  o["trials"] = obs::Json(l.trials);
+  o["shard_size"] = obs::Json(l.shard_size);
+  o["action"] = obs::Json(r.action);
+  o["shard"] = obs::Json(r.shard);
+  o["worker"] = obs::Json(r.worker);
+  o["pid"] = obs::Json(r.pid);
+  o["ts_ms"] = obs::Json(r.ts_ms);
+  return obs::Json(std::move(o));
+}
+
+std::map<std::int64_t, LeaseRecord> active_leases(
+    const std::vector<LeaseRecord>& records, std::int64_t now_ms,
+    std::int64_t ttl_ms) {
+  std::map<std::int64_t, LeaseRecord> live;
+  for (const LeaseRecord& r : records) {
+    if (r.action == "claim" || r.action == "renew") {
+      live[r.shard] = r;
+    } else if (r.action == "release") {
+      live.erase(r.shard);
+    }
+    // "finalize" carries no shard and does not touch the table.
+  }
+  for (auto it = live.begin(); it != live.end();) {
+    if (now_ms - it->second.ts_ms >= ttl_ms) {
+      it = live.erase(it);  // stale: holder presumed dead, shard reclaimable
+    } else {
+      ++it;
+    }
+  }
+  return live;
+}
+
+LeaseJournal::LeaseJournal(const exp::Experiment& e, const exp::ShardLayout& l,
+                           LeaseOptions opts)
+    : e_(e), l_(l), opts_(std::move(opts)) {
+  BLUNT_ASSERT(!opts_.journal_path.empty(), "lease journal needs a path");
+  BLUNT_ASSERT(!opts_.checkpoint_path.empty(),
+               "lease journal needs the checkpoint path");
+  worker_id_ = opts_.worker_id.empty() ? default_worker_id() : opts_.worker_id;
+}
+
+std::int64_t LeaseJournal::now_ms() const {
+  return opts_.now_ms ? opts_.now_ms() : system_now_ms();
+}
+
+std::vector<LeaseRecord> LeaseJournal::read_records() const {
+  return read_records_from(opts_.journal_path, e_, l_);
+}
+
+void LeaseJournal::append_record(const LeaseRecord& r) {
+  obs::LockRetryPolicy p;
+  p.seed = opts_.backoff_seed;
+  obs::locked_append(opts_.journal_path,
+                     lease_record_to_json(e_, l_, r).dump() + "\n", p);
+}
+
+ClaimResult LeaseJournal::claim() {
+  const LockedJournal lock(opts_.journal_path, opts_.backoff_seed);
+  // Both reads happen under the journal lock: no claim record can land
+  // between them and the append below, so two workers can never both pick
+  // the same shard while both their leases are live.
+  const std::map<std::int64_t, exp::Accumulator> done =
+      exp::load_shard_checkpoint(opts_.checkpoint_path, e_, l_);
+  const std::int64_t now = now_ms();
+  const std::map<std::int64_t, LeaseRecord> live =
+      active_leases(read_records(), now, opts_.ttl_ms);
+
+  ClaimResult result;
+  result.shards_checkpointed = static_cast<std::int64_t>(done.size());
+  if (result.shards_checkpointed >= l_.num_shards) {
+    result.status = ClaimStatus::kAllDone;
+    return result;
+  }
+  for (std::int64_t s = 0; s < l_.num_shards; ++s) {
+    if (done.count(s) != 0) continue;
+    if (live.count(s) != 0) continue;  // someone live holds it
+    LeaseRecord r;
+    r.action = "claim";
+    r.shard = s;
+    r.worker = worker_id_;
+    r.pid = static_cast<std::int64_t>(::getpid());
+    r.ts_ms = now;
+    lock.append(lease_record_to_json(e_, l_, r).dump() + "\n");
+    result.status = ClaimStatus::kClaimed;
+    result.shard = s;
+    return result;
+  }
+  // Every remaining shard is held by a live lease: wait for a release, a
+  // checkpoint line, or a TTL expiry.
+  result.status = ClaimStatus::kWaiting;
+  return result;
+}
+
+void LeaseJournal::renew(std::int64_t shard) {
+  LeaseRecord r;
+  r.action = "renew";
+  r.shard = shard;
+  r.worker = worker_id_;
+  r.pid = static_cast<std::int64_t>(::getpid());
+  r.ts_ms = now_ms();
+  append_record(r);
+}
+
+void LeaseJournal::release(std::int64_t shard) {
+  LeaseRecord r;
+  r.action = "release";
+  r.shard = shard;
+  r.worker = worker_id_;
+  r.pid = static_cast<std::int64_t>(::getpid());
+  r.ts_ms = now_ms();
+  append_record(r);
+}
+
+FinalizeStatus LeaseJournal::try_finalize() {
+  const LockedJournal lock(opts_.journal_path, opts_.backoff_seed);
+  // Re-check DONE under the lock, from the checkpoint — never from our own
+  // memory of kAllDone. If the winner already folded and cleaned up, the
+  // checkpoint is gone and this count is 0: we lose on that evidence rather
+  // than re-electing over an empty run.
+  const std::map<std::int64_t, exp::Accumulator> done =
+      exp::load_shard_checkpoint(opts_.checkpoint_path, e_, l_);
+  if (static_cast<std::int64_t>(done.size()) < l_.num_shards) {
+    return FinalizeStatus::kLost;
+  }
+  for (const LeaseRecord& r : read_records()) {
+    if (r.action == "finalize") return FinalizeStatus::kLost;
+  }
+  LeaseRecord r;
+  r.action = "finalize";
+  r.shard = -1;
+  r.worker = worker_id_;
+  r.pid = static_cast<std::int64_t>(::getpid());
+  r.ts_ms = now_ms();
+  lock.append(lease_record_to_json(e_, l_, r).dump() + "\n");
+  return FinalizeStatus::kWon;
+}
+
+}  // namespace blunt::svc

@@ -1,0 +1,151 @@
+// Crash-tolerant shard leases for multi-process cooperative runs.
+//
+// A lease journal is a JSONL file living next to the engine's shard
+// checkpoint, with the same append-only discipline (O_APPEND + one write()
+// under an advisory flock, obs/lockfile.hpp): workers append claim / renew /
+// release records, and the current lease table is a pure left-fold of the
+// journal. Nothing is ever rewritten in place, so a worker killed at ANY
+// byte boundary leaves at worst a torn trailing line, which every reader
+// skips.
+//
+// Correctness split, deliberately asymmetric:
+//
+//   * The CHECKPOINT is the source of truth for what is DONE. A shard
+//     counts exactly when its checkpoint line exists; the engine's
+//     ascending-shard fold over checkpointed accumulators is what makes the
+//     merged result bit-identical to a single-process run.
+//   * The JOURNAL is merely an optimization for what is IN FLIGHT: it stops
+//     two live workers from duplicating effort. It is allowed to be wrong
+//     in exactly one direction — a stale lease (holder killed, TTL expired)
+//     makes the shard claimable again, and if the dead worker had actually
+//     finished the shard but died before its release record landed, the
+//     re-run appends a DUPLICATE checkpoint line carrying identical bits
+//     (per-trial seeds derive purely from (seed, trial index)), which the
+//     checkpoint loader dedupes by shard. Double execution is possible;
+//     double COUNTING is not.
+//
+// Claim protocol (all under one flock on the journal):
+//   read checkpoint -> read journal -> lowest shard neither checkpointed
+//   nor live-leased -> append claim record. kWaiting when every remaining
+//   shard is live-leased (poll again; a lease goes stale after ttl_ms).
+//   kAllDone when every shard is checkpointed.
+//
+// Finalize election (same flock): exactly one worker of a cooperative run
+// gets to fold + report. The first to observe all shards checkpointed and
+// no prior finalize record appends one and wins; everyone else loses and
+// exits quietly. A loser that arrives after the winner already cleaned the
+// files sees an empty checkpoint and loses on that evidence — it never
+// restarts the run, because losers never claim again.
+//
+// Records carry the full run identity (experiment, seed, trials,
+// shard_size), so a stale journal from a differently-parameterized run can
+// never block or corrupt a claim — foreign records are skipped exactly like
+// foreign checkpoint lines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/engine.hpp"
+
+namespace blunt::svc {
+
+inline constexpr const char* kLeaseSchema = "blunt-svc-lease";
+inline constexpr int kLeaseVersion = 1;
+
+/// One journal record after parsing (foreign/torn lines never become one).
+struct LeaseRecord {
+  std::string action;  // "claim" | "renew" | "release" | "finalize"
+  std::int64_t shard = -1;  // -1 for finalize
+  std::string worker;
+  std::int64_t pid = 0;
+  std::int64_t ts_ms = 0;
+};
+
+struct LeaseOptions {
+  std::string journal_path;
+  std::string checkpoint_path;
+  /// A claim/renew older than this is stale: the holder is presumed dead
+  /// and the shard becomes claimable again. Must comfortably exceed the
+  /// longest single-shard wall time (holders renew every ttl/3).
+  std::int64_t ttl_ms = 30000;
+  /// Identity stamped into every record; default_worker_id() when empty.
+  std::string worker_id;
+  /// Seeds the flock backoff jitter (deterministic in tests).
+  std::uint64_t backoff_seed = 0;
+  /// Injectable wall clock for tests; real system_clock ms when null.
+  std::function<std::int64_t()> now_ms;
+};
+
+enum class ClaimStatus {
+  kClaimed,  // `shard` is yours; run it, checkpoint it, release it
+  kWaiting,  // nothing claimable but the run is not done — poll again
+  kAllDone,  // every shard is checkpointed
+};
+
+struct ClaimResult {
+  ClaimStatus status = ClaimStatus::kAllDone;
+  std::int64_t shard = -1;
+  std::int64_t shards_checkpointed = 0;  // observed under the claim lock
+};
+
+enum class FinalizeStatus {
+  kWon,   // you appended the finalize record: fold, report, clean up
+  kLost,  // someone else finalized (or already cleaned up) — exit quietly
+};
+
+/// "host:pid" — the lease identity every record carries.
+[[nodiscard]] std::string default_worker_id();
+
+[[nodiscard]] obs::Json lease_record_to_json(const exp::Experiment& e,
+                                             const exp::ShardLayout& l,
+                                             const LeaseRecord& r);
+
+/// The live-lease table at `now_ms`: shard -> holder's latest claim/renew
+/// record. Released, finalize, and stale (now - ts >= ttl) records drop out.
+[[nodiscard]] std::map<std::int64_t, LeaseRecord> active_leases(
+    const std::vector<LeaseRecord>& records, std::int64_t now_ms,
+    std::int64_t ttl_ms);
+
+class LeaseJournal {
+ public:
+  LeaseJournal(const exp::Experiment& e, const exp::ShardLayout& l,
+               LeaseOptions opts);
+
+  /// The claim protocol described in the file comment.
+  [[nodiscard]] ClaimResult claim();
+
+  /// Refreshes a held lease's timestamp (append-only, own flock window).
+  void renew(std::int64_t shard);
+
+  /// Gives a shard back after its checkpoint line landed. Append the
+  /// checkpoint line FIRST: release-then-checkpoint would open a window
+  /// where another worker re-claims a finished shard (benign, but wasted).
+  void release(std::int64_t shard);
+
+  /// The finalize election. Call only after claim() returned kAllDone.
+  [[nodiscard]] FinalizeStatus try_finalize();
+
+  /// Journal records matching this run's identity, oldest first (foreign
+  /// and torn lines skipped). Public for attribution and tests.
+  [[nodiscard]] std::vector<LeaseRecord> read_records() const;
+
+  [[nodiscard]] std::int64_t now_ms() const;
+  [[nodiscard]] const std::string& worker_id() const { return worker_id_; }
+  [[nodiscard]] const std::string& journal_path() const {
+    return opts_.journal_path;
+  }
+
+ private:
+  void append_record(const LeaseRecord& r);
+
+  const exp::Experiment& e_;
+  exp::ShardLayout l_;
+  LeaseOptions opts_;
+  std::string worker_id_;
+};
+
+}  // namespace blunt::svc

@@ -1,0 +1,288 @@
+#include "svc/worker.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "exp/progress.hpp"
+#include "exp/runner.hpp"
+#include "obs/lockfile.hpp"
+#include "obs/report.hpp"
+
+namespace blunt::svc {
+
+namespace {
+
+/// Background renewal of one held lease, every ttl/3: a shard that runs
+/// longer than the TTL must not be reclaimed out from under a LIVE worker
+/// (re-running it would still be benign for the results, just wasted work).
+class Renewer {
+ public:
+  Renewer(LeaseJournal& journal, std::int64_t shard, std::int64_t ttl_ms)
+      : journal_(journal), shard_(shard),
+        interval_ms_(std::max<std::int64_t>(1, ttl_ms / 3)) {
+    thread_ = std::thread([this] { loop(); });
+  }
+  ~Renewer() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+  Renewer(const Renewer&) = delete;
+  Renewer& operator=(const Renewer&) = delete;
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stop_; })) {
+        return;
+      }
+      lock.unlock();
+      try {
+        journal_.renew(shard_);
+      } catch (const std::exception&) {
+        // A failed renewal is survivable: the lease may go stale and the
+        // shard may be duplicated, never double-counted.
+      }
+      lock.lock();
+    }
+  }
+
+  LeaseJournal& journal_;
+  std::int64_t shard_;
+  std::int64_t interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Per-worker heartbeat writer: standard progress records with the worker
+/// field set, one file per worker (multi-writer files would tear).
+class WorkerProgress {
+ public:
+  WorkerProgress(const exp::Experiment& e, const exp::ShardLayout& l,
+                 std::string worker_id, const std::string& path)
+      : e_(e), l_(l), worker_id_(std::move(worker_id)) {
+    if (path.empty()) return;
+    out_.open(path, std::ios::app);
+    if (!out_.good()) {
+      std::fprintf(stderr, "svc: cannot open progress file %s\n", path.c_str());
+    }
+  }
+
+  void sample(std::int64_t shards_done, std::int64_t trials_done,
+              std::int64_t shards_resumed, bool done, bool complete) {
+    if (!out_.is_open() || !out_.good()) return;
+    exp::ProgressSample s;
+    s.experiment = e_.name;
+    s.seed = l_.seed;
+    s.worker = worker_id_;
+    s.threads = 1;
+    s.t_ms = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0_)
+                 .count();
+    s.shards_total = l_.num_shards;
+    s.shards_resumed = shards_resumed;
+    s.shards_claimed = shards_done;
+    s.shards_done = shards_done;
+    s.trials_total = l_.trials;
+    s.trials_done = trials_done;
+    s.trials_per_sec = s.t_ms > 0.0
+                           ? 1000.0 * static_cast<double>(trials_done) / s.t_ms
+                           : 0.0;
+    s.steals.push_back(shards_done);
+    s.done = done;
+    s.complete = complete;
+    out_ << exp::progress_to_json(s).dump() << '\n';
+    out_.flush();
+  }
+
+ private:
+  const exp::Experiment& e_;
+  const exp::ShardLayout& l_;
+  std::string worker_id_;
+  std::ofstream out_;
+  std::chrono::steady_clock::time_point t0_ = std::chrono::steady_clock::now();
+};
+
+[[nodiscard]] std::int64_t shard_trial_count(const exp::ShardLayout& l,
+                                             std::int64_t shard) {
+  const std::int64_t begin = shard * l.shard_size;
+  return std::min(l.trials, begin + l.shard_size) - begin;
+}
+
+[[nodiscard]] LeaseJournal make_journal(const exp::Experiment& e,
+                                        const exp::ShardLayout& l,
+                                        const WorkerOptions& opts) {
+  LeaseOptions lo;
+  lo.journal_path = resolve_lease_path(opts);
+  lo.checkpoint_path = opts.run.checkpoint_path;
+  lo.ttl_ms = opts.lease_ttl_ms;
+  lo.worker_id = opts.worker_id;
+  lo.backoff_seed = l.seed ^ static_cast<std::uint64_t>(::getpid());
+  return LeaseJournal(e, l, lo);
+}
+
+}  // namespace
+
+std::string resolve_lease_path(const WorkerOptions& opts) {
+  if (!opts.lease_path.empty()) return opts.lease_path;
+  return opts.run.checkpoint_path + ".leases";
+}
+
+WorkerResult run_worker(const exp::Experiment& e, const WorkerOptions& opts) {
+  BLUNT_ASSERT(!opts.run.checkpoint_path.empty(),
+               "worker mode needs --checkpoint (the shared run identity)");
+  const exp::ShardLayout l = exp::resolve_layout(e, opts.run);
+  LeaseJournal journal = make_journal(e, l, opts);
+  WorkerProgress progress(e, l, journal.worker_id(), opts.progress_path);
+
+  WorkerResult res;
+  std::int64_t trials_done = 0;
+  std::int64_t resumed_at_start = -1;
+  bool run_complete = false;
+  for (;;) {
+    const ClaimResult c = journal.claim();
+    if (resumed_at_start < 0) resumed_at_start = c.shards_checkpointed;
+    if (c.status == ClaimStatus::kAllDone) {
+      run_complete = true;
+      break;
+    }
+    if (c.status == ClaimStatus::kWaiting) {
+      progress.sample(res.shards_executed, trials_done, resumed_at_start,
+                      /*done=*/false, /*complete=*/false);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(1, opts.wait_poll_ms)));
+      continue;
+    }
+
+    exp::Accumulator acc;
+    {
+      const Renewer renewer(journal, c.shard, opts.lease_ttl_ms);
+      acc = exp::run_one_shard(e, l, c.shard, opts.run.coverage,
+                               opts.run.profile);
+    }
+    // Checkpoint BEFORE release (see LeaseJournal::release). The append is
+    // flock-serialized against every other worker's — multi-process
+    // checkpointing must not rely on the engine's in-process writer mutex.
+    obs::LockRetryPolicy p;
+    p.seed = l.seed ^ static_cast<std::uint64_t>(::getpid());
+    obs::locked_append(opts.run.checkpoint_path,
+                       exp::shard_checkpoint_line(e, l, c.shard, acc).dump() +
+                           "\n",
+                       p);
+    journal.release(c.shard);
+    ++res.shards_executed;
+    trials_done += shard_trial_count(l, c.shard);
+    progress.sample(res.shards_executed, trials_done, resumed_at_start,
+                    /*done=*/false, /*complete=*/false);
+  }
+
+  progress.sample(res.shards_executed, trials_done, resumed_at_start,
+                  /*done=*/true, /*complete=*/run_complete);
+
+  if (opts.finalize && run_complete) {
+    if (journal.try_finalize() == FinalizeStatus::kWon) {
+      res.finalized = true;
+      res.exit_code = merge_and_report(e, opts);
+    }
+  }
+  return res;
+}
+
+int merge_and_report(const exp::Experiment& e, const WorkerOptions& opts) {
+  const exp::ShardLayout l = exp::resolve_layout(e, opts.run);
+  const std::string lease_path = resolve_lease_path(opts);
+
+  std::map<std::int64_t, exp::Accumulator> done =
+      exp::load_shard_checkpoint(opts.run.checkpoint_path, e, l);
+  BLUNT_ASSERT(static_cast<std::int64_t>(done.size()) == l.num_shards,
+               "merge_and_report: checkpoint has " << done.size() << " of "
+               << l.num_shards << " shards");
+
+  // The one merge tree: ascending shard index, exactly like run_trials.
+  std::vector<exp::Accumulator> shard_accs;
+  shard_accs.reserve(done.size());
+  for (auto& [shard, acc] : done) shard_accs.push_back(std::move(acc));
+
+  exp::RunOutput out;
+  out.info.trials = l.trials;
+  out.info.seed = l.seed;
+  out.info.threads = 1;
+  out.info.shard_size = l.shard_size;
+  out.info.shards_total = static_cast<int>(l.num_shards);
+  out.info.shards_resumed = 0;
+  out.info.shards_executed = static_cast<int>(l.num_shards);
+  out.info.complete = true;
+  out.info.coverage = opts.run.coverage;
+  out.info.profile = opts.run.profile;
+  out.merged =
+      exp::fold_shards(std::move(shard_accs),
+                       opts.run.coverage ? &out.info.coverage_growth : nullptr);
+
+  // Per-worker attribution from the journal: each shard belongs to the
+  // worker whose release record landed last (the one whose checkpoint line
+  // counted); a shard with only claims (killed holder, reclaimed later)
+  // falls back to the last claimant. Scheduling happenstance — so it goes
+  // into the optional "workers" section and an environment stamp, never
+  // into metrics.
+  std::map<std::int64_t, std::string> shard_owner;
+  for (const LeaseRecord& r : LeaseJournal(e, l,
+                                           [&] {
+                                             LeaseOptions lo;
+                                             lo.journal_path = lease_path;
+                                             lo.checkpoint_path =
+                                                 opts.run.checkpoint_path;
+                                             return lo;
+                                           }())
+           .read_records()) {
+    if (r.action == "release" ||
+        (r.action == "claim" && shard_owner.count(r.shard) == 0)) {
+      shard_owner[r.shard] = r.worker;
+    }
+  }
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> per_worker;
+  for (const auto& [shard, worker] : shard_owner) {
+    if (shard < 0 || shard >= l.num_shards) continue;
+    per_worker[worker].first += 1;
+    per_worker[worker].second += shard_trial_count(l, shard);
+  }
+
+  const int rc = exp::finalize_and_report(
+      e, out, [&](obs::BenchReport& report) {
+        report.set_environment_int(
+            "engine_workers", static_cast<std::int64_t>(per_worker.size()));
+        for (const auto& [worker, counts] : per_worker) {
+          obs::JsonObject w;
+          w["shards"] = obs::Json(counts.first);
+          w["trials"] = obs::Json(counts.second);
+          report.set_worker(worker, obs::Json(std::move(w)));
+        }
+      });
+
+  if (!opts.keep_files) {
+    // Checkpoint first, journal last: a straggler that re-reads between the
+    // two sees an empty checkpoint and loses its election on that evidence.
+    std::remove(opts.run.checkpoint_path.c_str());
+    std::remove(lease_path.c_str());
+  }
+  return rc;
+}
+
+}  // namespace blunt::svc

@@ -1,0 +1,84 @@
+// The cooperative worker loop and the single-finalizer merge.
+//
+// A worker is one PROCESS of a cooperative run: it claims shards through
+// the lease journal (svc/lease.hpp), executes each with the engine's pure
+// run_one_shard, appends the standard checkpoint line under the file lock,
+// and releases the lease. Any number of independently launched workers
+// pointed at the same checkpoint directory cooperate automatically — the
+// files ARE the coordination; there is no leader process and no sockets.
+//
+// Determinism: workers only ever decide WHO runs a shard, never WHAT a
+// shard computes (pure function of experiment/layout/shard index) nor how
+// results merge (load_shard_checkpoint + fold_shards in ascending shard
+// order). The merged report of N workers with kills and resumes in any
+// interleaving is therefore bit-identical in its metrics section to a
+// single-process --threads 1 run.
+//
+// Crash tolerance: a worker killed mid-shard leaves a live lease that goes
+// stale after ttl_ms and is reclaimed; killed mid-checkpoint-append it
+// leaves a torn line the loader skips (shard re-runs, identical bits);
+// killed between checkpoint and release it leaves a lease another worker
+// may re-claim once stale — a duplicate checkpoint line with identical
+// bits, deduped by shard on load.
+//
+// Exactly-once reporting: after kAllDone every worker runs the finalize
+// election; the single winner folds the checkpoint, attaches per-worker
+// shard attribution from the lease journal, emits the standard
+// BENCH_<name>.json + ledger append through finalize_and_report, and
+// removes the run files. Losers exit 0 without touching anything.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exp/engine.hpp"
+#include "svc/lease.hpp"
+
+namespace blunt::svc {
+
+struct WorkerOptions {
+  /// Engine options: trials/seed/shard_size identify the run (all workers
+  /// must agree); checkpoint_path is required and names the shared
+  /// checkpoint. threads/max_shards/timing_sweep are ignored — a worker is
+  /// single-threaded by design (process-level parallelism instead).
+  exp::RunOptions run;
+  /// Lease journal next to the checkpoint; "<checkpoint>.leases" when empty.
+  std::string lease_path;
+  std::int64_t lease_ttl_ms = 30000;
+  /// Lease identity; default_worker_id() ("host:pid") when empty.
+  std::string worker_id;
+  /// Per-worker heartbeat JSONL (exp/progress.hpp records with the worker
+  /// field set); none when empty.
+  std::string progress_path;
+  /// Poll cadence while kWaiting on other workers' live leases.
+  int wait_poll_ms = 200;
+  /// Run the finalize election after kAllDone. The --workers N parent sets
+  /// this false for its children and merges itself after they exit.
+  bool finalize = true;
+  /// Winner keeps checkpoint + journal instead of removing them (tests).
+  bool keep_files = false;
+};
+
+struct WorkerResult {
+  std::int64_t shards_executed = 0;
+  bool finalized = false;  // this worker won the election and wrote the report
+  int exit_code = 0;       // finalize hook's exit code when finalized
+};
+
+/// The worker loop described in the file comment. Returns after kAllDone
+/// (and the election, when opts.finalize).
+[[nodiscard]] WorkerResult run_worker(const exp::Experiment& e,
+                                      const WorkerOptions& opts);
+
+/// The finalizer's merge: load every checkpointed shard, fold in ascending
+/// shard order, report through exp::finalize_and_report with per-worker
+/// attribution from the lease journal, then remove checkpoint + journal
+/// (unless keep_files). Called by the election winner and by the
+/// --workers N parent. Returns the finalize hook's exit code.
+[[nodiscard]] int merge_and_report(const exp::Experiment& e,
+                                   const WorkerOptions& opts);
+
+/// Resolved journal path: opts.lease_path or "<checkpoint>.leases".
+[[nodiscard]] std::string resolve_lease_path(const WorkerOptions& opts);
+
+}  // namespace blunt::svc

@@ -2,8 +2,11 @@
 // and per-metric series reconstruction.
 #include "obs/ledger.hpp"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -11,6 +14,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/lockfile.hpp"
 #include "obs/report.hpp"
 
 namespace blunt::obs {
@@ -189,6 +193,104 @@ TEST(Ledger, DefaultPathFollowsBenchDirEnv) {
     EXPECT_EQ(default_ledger_path(), "./BENCH_HISTORY.jsonl");
   }
   EXPECT_TRUE(ledger_enabled() || std::getenv("BLUNT_LEDGER") != nullptr);
+}
+
+TEST(Lockfile, BackoffIsDeterministicBoundedAndJittered) {
+  LockRetryPolicy p;
+  p.base_backoff_us = 50;
+  p.seed = 1234;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    const std::int64_t us = lock_backoff_us(p, attempt);
+    // Pure in (policy, attempt): the schedule is pinnable.
+    EXPECT_EQ(us, lock_backoff_us(p, attempt));
+    // Exponential base plus jitter in [0, base * 2^attempt) — never less
+    // than the base, never twice it (the attempt exponent is capped, so
+    // large attempt values stay bounded instead of overflowing).
+    const int capped = attempt > 20 ? 20 : attempt;
+    const std::int64_t base = p.base_backoff_us * (1LL << capped);
+    EXPECT_GE(us, base);
+    EXPECT_LT(us, 2 * base);
+  }
+  EXPECT_EQ(lock_backoff_us(p, 50), lock_backoff_us(p, 50));
+
+  // Different seeds decorrelate the jitter (workers seed from pid so a
+  // thundering herd does not retry in lockstep).
+  LockRetryPolicy q = p;
+  q.seed = 99;
+  bool any_differs = false;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    any_differs |= lock_backoff_us(p, attempt) != lock_backoff_us(q, attempt);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Lockfile, RetryCounterCountsContendedAttempts) {
+  TempFile f("contended");
+  append_entry(f.path(), {stamp("aaa", 100), make_report("b1", 0.5, 10.0)});
+
+  reset_lock_retries();
+  EXPECT_EQ(lock_retries(), 0);
+
+  // Hold the flock from one descriptor while another tries non-blocking
+  // acquisition: every miss lands in the process-global retry counter.
+  // (flock ownership is per open file description, so two opens in one
+  // process contend exactly like two processes.)
+  const int holder = ::open(f.path().c_str(), O_RDWR);
+  ASSERT_GE(holder, 0);
+  LockRetryPolicy quick;
+  quick.max_retries = 3;
+  quick.base_backoff_us = 1;
+  ASSERT_TRUE(acquire_file_lock(holder, quick));
+  EXPECT_EQ(lock_retries(), 0);  // uncontended: no retries
+
+  std::thread contender([&] {
+    // Blocks until the holder releases; its non-blocking attempts miss.
+    obs::locked_append(f.path(), "not json, skipped by the loader\n", quick);
+  });
+  // Give the contender time to burn through its non-blocking attempts
+  // (3 retries at ~1-8us backoff), then let it through.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_GE(lock_retries(), quick.max_retries);
+  release_file_lock(holder);
+  contender.join();
+  ::close(holder);
+
+  const Ledger ledger = load_ledger(f.path());
+  EXPECT_EQ(ledger.entries.size(), 1u);  // the junk line was appended whole
+  EXPECT_EQ(ledger.skipped_lines, 1);
+  reset_lock_retries();
+}
+
+TEST(Lockfile, ConcurrentLockedAppendsNeverTearLines) {
+  TempFile f("torn");
+  constexpr int kThreads = 8;
+  constexpr int kLines = 25;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      LockRetryPolicy p;
+      p.seed = static_cast<std::uint64_t>(t);
+      p.base_backoff_us = 1;
+      for (int i = 0; i < kLines; ++i) {
+        const std::string line =
+            "w" + std::to_string(t) + ":" + std::to_string(i);
+        locked_append(f.path(), line + "\n", p);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  std::ifstream in(f.path());
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    // Every line is exactly one writer's record — no interleaving.
+    ASSERT_EQ(line.find('w'), 0u) << line;
+    ASSERT_EQ(line.find(':'), line.rfind(':')) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
 }
 
 }  // namespace

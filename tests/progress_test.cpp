@@ -246,5 +246,108 @@ TEST(ProgressWatch, ToleratesTornFinalHeartbeat) {
   writer.join();
 }
 
+TEST(ProgressSchema, WorkerFieldRoundTripsAndIsOmittedWhenEmpty) {
+  // Single-process samples must serialize exactly as before the worker
+  // field existed — no "worker" key at all.
+  const ProgressSample plain = make_sample();
+  EXPECT_EQ(progress_to_json(plain).find("worker"), nullptr);
+
+  ProgressSample s = make_sample();
+  s.worker = "host:4242";
+  const obs::Json j = progress_to_json(s);
+  ASSERT_NE(j.find("worker"), nullptr);
+  const std::optional<ProgressSample> back = parse_progress_line(j.dump());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->worker, "host:4242");
+  EXPECT_EQ(progress_to_json(*back).dump(), j.dump());
+}
+
+TEST(ProgressWatchMulti, UnionLineSumsPartitionsAndMaxesTotals) {
+  ProgressSample a = make_sample();
+  a.worker = "w1";
+  a.shards_done = 4;
+  a.trials_done = 60;
+  a.trials_per_sec = 100.0;
+  ProgressSample b = make_sample();
+  b.worker = "w2";
+  b.shards_done = 6;
+  b.trials_done = 80;
+  b.trials_per_sec = 50.0;
+  const std::string line = render_multi_status_line({a, b});
+  EXPECT_NE(line.find("synthetic"), std::string::npos);
+  EXPECT_NE(line.find("2 workers"), std::string::npos);
+  // done shards sum across workers (4+6), resumed takes the widest view
+  // (each worker loaded the same 2), so 12 of 21 shards are covered.
+  EXPECT_NE(line.find("shards 12/21"), std::string::npos);
+  EXPECT_NE(line.find("(2 resumed)"), std::string::npos);
+  EXPECT_NE(line.find("150.0 trials/s"), std::string::npos);  // summed rate
+  EXPECT_EQ(render_multi_status_line({}), "waiting for workers");
+}
+
+TEST(ProgressWatchMulti, TerminatesWhenEveryExistingWorkerIsDone) {
+  ProgressSample done1 = make_sample();
+  done1.worker = "w1";
+  done1.done = true;
+  ProgressSample done2 = make_sample();
+  done2.worker = "w2";
+  done2.done = true;
+
+  TempFile f1("multi1");
+  TempFile f2("multi2");
+  {
+    std::ofstream o1(f1.path());
+    o1 << progress_to_json(done1).dump() << '\n';
+    std::ofstream o2(f2.path());
+    o2 << progress_to_json(done2).dump() << '\n';
+  }
+  EXPECT_EQ(
+      watch_progress_multi({f1.path(), f2.path()}, 10, stderr, /*max_polls=*/5),
+      0);
+
+  // One worker still live -> keep polling until max_polls.
+  ProgressSample live = make_sample();
+  live.worker = "w2";
+  {
+    std::ofstream o2(f2.path());
+    o2 << progress_to_json(live).dump() << '\n';
+  }
+  EXPECT_EQ(
+      watch_progress_multi({f1.path(), f2.path()}, 10, stderr, /*max_polls=*/3),
+      1);
+}
+
+TEST(ProgressWatchMulti, FinalizerCompleteRecordOverridesMissingWorkers) {
+  // A worker killed before its done record never writes one; the
+  // finalizer's done && complete heartbeat must still terminate the watch,
+  // and a progress file that does not exist yet must be tolerated.
+  ProgressSample fin = make_sample();
+  fin.worker = "w1";
+  fin.done = true;
+  fin.complete = true;
+  ProgressSample live = make_sample();
+  live.worker = "w2";
+
+  TempFile f1("multi_fin");
+  TempFile f2("multi_live");
+  TempFile missing("multi_missing");  // never written
+  {
+    std::ofstream o1(f1.path());
+    o1 << progress_to_json(fin).dump() << '\n';
+    std::ofstream o2(f2.path());
+    o2 << progress_to_json(live).dump() << '\n';
+  }
+  EXPECT_EQ(watch_progress_multi({f1.path(), f2.path(), missing.path()}, 10,
+                                 stderr, /*max_polls=*/5),
+            0);
+}
+
+TEST(ProgressWatchMulti, OnlyMissingFilesKeepsPolling) {
+  TempFile never1("never1");
+  TempFile never2("never2");
+  EXPECT_EQ(watch_progress_multi({never1.path(), never2.path()}, 10, stderr,
+                                 /*max_polls=*/3),
+            1);
+}
+
 }  // namespace
 }  // namespace blunt::exp

@@ -1,0 +1,283 @@
+// The shard-lease journal (src/svc/lease.hpp): claim/renew/expire/reclaim
+// lifecycle, two workers racing one shard, finalize election, and the
+// torn/foreign-line tolerance every journal in this repo promises.
+#include "svc/lease.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "exp/engine.hpp"
+#include "obs/lockfile.hpp"
+
+namespace blunt::svc {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(std::string(::testing::TempDir()) + "blunt_lease_" + tag +
+              ".jsonl") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Tiny synthetic experiment: 4 shards of 8 trials (31 total, ragged tail).
+exp::Experiment make_synthetic() {
+  exp::Experiment e;
+  e.name = "lease_synth";
+  e.description = "lease test workload";
+  e.default_trials = 31;
+  e.default_seed = 11;
+  e.default_shard_size = 8;
+  e.trial = [](const exp::TrialContext& ctx, exp::Accumulator& acc) {
+    acc.counter("n") += 1;
+    acc.stat("x").add(static_cast<double>(ctx.seed % 97));
+  };
+  return e;
+}
+
+/// Harness: one experiment, one layout, a fake clock all journals share.
+struct Rig {
+  Rig() : e(make_synthetic()), l(exp::resolve_layout(e, exp::RunOptions{})) {}
+
+  [[nodiscard]] LeaseJournal journal(const std::string& worker,
+                                     std::int64_t ttl_ms = 1000) {
+    LeaseOptions o;
+    o.journal_path = leases.path();
+    o.checkpoint_path = checkpoint.path();
+    o.ttl_ms = ttl_ms;
+    o.worker_id = worker;
+    o.now_ms = [this] { return now; };
+    return LeaseJournal(e, l, o);
+  }
+
+  void checkpoint_shard(std::int64_t shard) {
+    const exp::Accumulator acc =
+        exp::run_one_shard(e, l, shard, false, false);
+    obs::locked_append(checkpoint.path(),
+                       exp::shard_checkpoint_line(e, l, shard, acc).dump() +
+                           "\n",
+                       obs::LockRetryPolicy{});
+  }
+
+  exp::Experiment e;
+  exp::ShardLayout l;
+  TempFile leases{"journal"};
+  TempFile checkpoint{"ckpt"};
+  std::int64_t now = 1000;
+};
+
+TEST(LeaseLayout, SyntheticHasFourShards) {
+  Rig rig;
+  EXPECT_EQ(rig.l.num_shards, 4);
+  EXPECT_EQ(rig.l.trials, 31);
+}
+
+TEST(LeaseClaim, AssignsLowestAvailableShardPerWorker) {
+  Rig rig;
+  LeaseJournal a = rig.journal("a");
+  LeaseJournal b = rig.journal("b");
+
+  const ClaimResult ca = a.claim();
+  ASSERT_EQ(ca.status, ClaimStatus::kClaimed);
+  EXPECT_EQ(ca.shard, 0);
+
+  // b's claim happens after a's landed: the journal serializes them, so b
+  // can never get shard 0 while a's lease is live.
+  const ClaimResult cb = b.claim();
+  ASSERT_EQ(cb.status, ClaimStatus::kClaimed);
+  EXPECT_EQ(cb.shard, 1);
+
+  const ClaimResult ca2 = a.claim();
+  ASSERT_EQ(ca2.status, ClaimStatus::kClaimed);
+  EXPECT_EQ(ca2.shard, 2);
+}
+
+TEST(LeaseClaim, SkipsCheckpointedShards) {
+  Rig rig;
+  rig.checkpoint_shard(0);
+  rig.checkpoint_shard(2);
+  LeaseJournal a = rig.journal("a");
+  const ClaimResult c = a.claim();
+  ASSERT_EQ(c.status, ClaimStatus::kClaimed);
+  EXPECT_EQ(c.shard, 1);
+  EXPECT_EQ(c.shards_checkpointed, 2);
+}
+
+TEST(LeaseClaim, WaitsWhenEveryRemainingShardIsLeased) {
+  Rig rig;
+  LeaseJournal a = rig.journal("a");
+  for (int s = 0; s < 3; ++s) {
+    ASSERT_EQ(a.claim().status, ClaimStatus::kClaimed);
+  }
+  rig.checkpoint_shard(3);
+  LeaseJournal b = rig.journal("b");
+  EXPECT_EQ(b.claim().status, ClaimStatus::kWaiting);
+}
+
+TEST(LeaseClaim, AllDoneWhenEveryShardCheckpointed) {
+  Rig rig;
+  for (std::int64_t s = 0; s < rig.l.num_shards; ++s) {
+    rig.checkpoint_shard(s);
+  }
+  LeaseJournal a = rig.journal("a");
+  const ClaimResult c = a.claim();
+  EXPECT_EQ(c.status, ClaimStatus::kAllDone);
+  EXPECT_EQ(c.shards_checkpointed, rig.l.num_shards);
+}
+
+TEST(LeaseLifecycle, StaleLeaseIsReclaimedAfterTtl) {
+  Rig rig;
+  LeaseJournal victim = rig.journal("victim", /*ttl_ms=*/500);
+  ASSERT_EQ(victim.claim().shard, 0);
+  // The victim dies (no release). Before the TTL the shard is protected...
+  rig.now += 499;
+  LeaseJournal rescuer = rig.journal("rescuer", /*ttl_ms=*/500);
+  EXPECT_EQ(rescuer.claim().shard, 1);
+  // ...and exactly at TTL expiry it is claimable again.
+  rig.now += 1;
+  EXPECT_EQ(rescuer.claim().shard, 0);
+}
+
+TEST(LeaseLifecycle, RenewExtendsTheTtlWindow) {
+  Rig rig;
+  LeaseJournal holder = rig.journal("holder", /*ttl_ms=*/500);
+  ASSERT_EQ(holder.claim().shard, 0);
+  rig.now += 400;
+  holder.renew(0);
+  rig.now += 400;  // 800 past claim, 400 past renew: still live
+  LeaseJournal other = rig.journal("other", /*ttl_ms=*/500);
+  EXPECT_EQ(other.claim().shard, 1);
+}
+
+TEST(LeaseLifecycle, ReleasedShardNotReclaimedOnceCheckpointed) {
+  Rig rig;
+  LeaseJournal a = rig.journal("a");
+  ASSERT_EQ(a.claim().shard, 0);
+  rig.checkpoint_shard(0);  // checkpoint BEFORE release, like the worker
+  a.release(0);
+  LeaseJournal b = rig.journal("b");
+  EXPECT_EQ(b.claim().shard, 1);
+}
+
+TEST(LeaseRace, LoserYieldsAndNoDoubleCount) {
+  // Two workers race one remaining shard: the journal's flock serializes
+  // the read-check-append, so the loser observes the winner's claim and
+  // waits instead of duplicating it.
+  Rig rig;
+  for (std::int64_t s = 1; s < rig.l.num_shards; ++s) {
+    rig.checkpoint_shard(s);
+  }
+  LeaseJournal a = rig.journal("a");
+  LeaseJournal b = rig.journal("b");
+  const ClaimResult ca = a.claim();
+  const ClaimResult cb = b.claim();
+  ASSERT_EQ(ca.status, ClaimStatus::kClaimed);
+  EXPECT_EQ(ca.shard, 0);
+  EXPECT_EQ(cb.status, ClaimStatus::kWaiting);
+
+  // Winner finishes; loser now sees the run complete. ONE checkpoint line.
+  rig.checkpoint_shard(0);
+  a.release(0);
+  EXPECT_EQ(b.claim().status, ClaimStatus::kAllDone);
+  const auto done =
+      exp::load_shard_checkpoint(rig.checkpoint.path(), rig.e, rig.l);
+  EXPECT_EQ(static_cast<std::int64_t>(done.size()), rig.l.num_shards);
+}
+
+TEST(LeaseFinalize, ExactlyOneWinner) {
+  Rig rig;
+  for (std::int64_t s = 0; s < rig.l.num_shards; ++s) {
+    rig.checkpoint_shard(s);
+  }
+  LeaseJournal a = rig.journal("a");
+  LeaseJournal b = rig.journal("b");
+  EXPECT_EQ(a.try_finalize(), FinalizeStatus::kWon);
+  EXPECT_EQ(b.try_finalize(), FinalizeStatus::kLost);
+  EXPECT_EQ(a.try_finalize(), FinalizeStatus::kLost);  // even the winner, once
+}
+
+TEST(LeaseFinalize, LosesWhenCheckpointAlreadyCleaned) {
+  // A straggler whose election runs after the winner folded and removed
+  // the files must lose on the empty-checkpoint evidence, not re-elect.
+  Rig rig;
+  LeaseJournal a = rig.journal("a");
+  std::remove(rig.checkpoint.path().c_str());
+  EXPECT_EQ(a.try_finalize(), FinalizeStatus::kLost);
+}
+
+TEST(LeaseJournalFile, ForeignAndTornLinesAreSkipped) {
+  Rig rig;
+  {
+    std::ofstream out(rig.leases.path());
+    // A record from a different seed's run, a torn line, and junk.
+    exp::ShardLayout foreign = rig.l;
+    foreign.seed = 999;
+    LeaseRecord r;
+    r.action = "claim";
+    r.shard = 0;
+    r.worker = "other-run";
+    r.ts_ms = 1000;
+    out << lease_record_to_json(rig.e, foreign, r).dump() << "\n";
+    out << "{\"schema\":\"blunt-svc-lease\",\"experiment\":\"lease_sy\n";
+    out << "not json at all\n";
+  }
+  LeaseJournal a = rig.journal("a");
+  EXPECT_TRUE(a.read_records().empty());
+  // The foreign run's claim on shard 0 must not block this run's claim.
+  EXPECT_EQ(a.claim().shard, 0);
+}
+
+TEST(LeaseTable, ActiveLeasesFoldsActionsAndTtl) {
+  std::vector<LeaseRecord> records;
+  const auto rec = [](const char* action, std::int64_t shard,
+                      std::int64_t ts) {
+    LeaseRecord r;
+    r.action = action;
+    r.shard = shard;
+    r.worker = "w";
+    r.ts_ms = ts;
+    return r;
+  };
+  records.push_back(rec("claim", 0, 100));
+  records.push_back(rec("claim", 1, 100));
+  records.push_back(rec("release", 0, 150));
+  records.push_back(rec("claim", 2, 500));
+  records.push_back(rec("renew", 1, 600));
+
+  const auto live = active_leases(records, /*now_ms=*/700, /*ttl_ms=*/300);
+  EXPECT_EQ(live.count(0), 0u);  // released
+  EXPECT_EQ(live.count(1), 1u);  // renewed at 600: live
+  EXPECT_EQ(live.count(2), 1u);  // claimed at 500: live
+  const auto all_stale = active_leases(records, /*now_ms=*/901, /*ttl_ms=*/300);
+  EXPECT_TRUE(all_stale.empty());
+}
+
+TEST(LeaseRecordJson, RoundTripsThroughTheJournal) {
+  Rig rig;
+  LeaseJournal a = rig.journal("roundtrip-worker");
+  ASSERT_EQ(a.claim().shard, 0);
+  a.renew(0);
+  a.release(0);
+  const auto records = a.read_records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].action, "claim");
+  EXPECT_EQ(records[1].action, "renew");
+  EXPECT_EQ(records[2].action, "release");
+  for (const LeaseRecord& r : records) {
+    EXPECT_EQ(r.shard, 0);
+    EXPECT_EQ(r.worker, "roundtrip-worker");
+    EXPECT_EQ(r.ts_ms, 1000);
+  }
+}
+
+}  // namespace
+}  // namespace blunt::svc

@@ -1,0 +1,259 @@
+// The cooperative worker loop (src/svc/worker.hpp): concurrent workers over
+// one checkpoint produce the single-run bits, a SIGKILLed worker's shards
+// are reclaimed and the merged result is still bit-identical, and the
+// finalize election writes exactly one report with worker attribution.
+#include "svc/worker.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "exp/engine.hpp"
+#include "exp/runner.hpp"
+#include "obs/json.hpp"
+
+namespace blunt::svc {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(std::string(::testing::TempDir()) + "blunt_worker_" + tag +
+              ".jsonl") {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".leases").c_str());
+  }
+  ~TempFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".leases").c_str());
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Scoped env override restoring the previous value on destruction, so
+/// bench-dir / ledger redirection never leaks across tests in this binary.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const std::string& value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value.c_str(), /*overwrite=*/1);
+  }
+  ~EnvGuard() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+/// 96 trials over 12 shards: enough shards that two workers both get work.
+exp::Experiment make_synthetic(const std::string& name) {
+  exp::Experiment e;
+  e.name = name;
+  e.description = "worker test workload";
+  e.default_trials = 96;
+  e.default_seed = 23;
+  e.default_shard_size = 8;
+  e.trial = [](const exp::TrialContext& ctx, exp::Accumulator& acc) {
+    acc.counter("n") += 1;
+    acc.tally("hit").add(ctx.seed % 3 == 0);
+    acc.stat("x").add(static_cast<double>(ctx.seed % 1009) / 7.0);
+  };
+  e.finalize = [](obs::BenchReport& report, const exp::Accumulator& acc,
+                  const exp::RunInfo&) {
+    report.set_metric("n", static_cast<double>(acc.counter_or("n")));
+    report.set_metric("x_mean", acc.stat("x").mean());
+    return 0;
+  };
+  return e;
+}
+
+/// The same trial space with a per-trial sleep, so a kill signal reliably
+/// lands mid-shard. The sleep changes nothing the accumulator sees.
+exp::Experiment make_sleepy(const std::string& name) {
+  exp::Experiment e = make_synthetic(name);
+  e.default_trials = 48;  // 6 shards x ~24ms
+  const auto inner = e.trial;
+  e.trial = [inner](const exp::TrialContext& ctx, exp::Accumulator& acc) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    inner(ctx, acc);
+  };
+  return e;
+}
+
+WorkerOptions make_options(const std::string& checkpoint,
+                           const std::string& worker_id) {
+  WorkerOptions o;
+  o.run.checkpoint_path = checkpoint;
+  o.worker_id = worker_id;
+  o.wait_poll_ms = 10;
+  o.finalize = false;
+  return o;
+}
+
+/// The single-process truth every cooperative interleaving must reproduce.
+std::string single_run_bits(const exp::Experiment& e) {
+  return exp::run_trials(e, exp::RunOptions{}).merged.canonical_dump();
+}
+
+/// What the finalizer folds: every checkpointed shard in ascending order.
+std::string folded_checkpoint_bits(const exp::Experiment& e,
+                                   const std::string& checkpoint) {
+  const exp::ShardLayout l = exp::resolve_layout(e, exp::RunOptions{});
+  auto done = exp::load_shard_checkpoint(checkpoint, e, l);
+  EXPECT_EQ(static_cast<std::int64_t>(done.size()), l.num_shards);
+  std::vector<exp::Accumulator> accs;
+  for (auto& [shard, acc] : done) accs.push_back(std::move(acc));
+  return exp::fold_shards(std::move(accs)).canonical_dump();
+}
+
+TEST(WorkerPaths, LeasePathDefaultsNextToCheckpoint) {
+  WorkerOptions o = make_options("/tmp/run/ckpt.jsonl", "w");
+  EXPECT_EQ(resolve_lease_path(o), "/tmp/run/ckpt.jsonl.leases");
+  o.lease_path = "/elsewhere/run.leases";
+  EXPECT_EQ(resolve_lease_path(o), "/elsewhere/run.leases");
+}
+
+TEST(WorkerLoop, TwoConcurrentWorkersMatchSingleRunBitForBit) {
+  const exp::Experiment e = make_synthetic("worker_pair");
+  TempFile ckpt("pair");
+
+  WorkerResult r1;
+  WorkerResult r2;
+  std::thread t1([&] { r1 = run_worker(e, make_options(ckpt.path(), "w1")); });
+  std::thread t2([&] { r2 = run_worker(e, make_options(ckpt.path(), "w2")); });
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(r1.exit_code, 0);
+  EXPECT_EQ(r2.exit_code, 0);
+  EXPECT_FALSE(r1.finalized);
+  EXPECT_FALSE(r2.finalized);
+  const exp::ShardLayout l = exp::resolve_layout(e, exp::RunOptions{});
+  EXPECT_EQ(r1.shards_executed + r2.shards_executed, l.num_shards);
+  EXPECT_EQ(folded_checkpoint_bits(e, ckpt.path()), single_run_bits(e));
+}
+
+TEST(WorkerLoop, LateJoinerOnFinishedRunExecutesNothing) {
+  const exp::Experiment e = make_synthetic("worker_late");
+  TempFile ckpt("late");
+  const WorkerResult first = run_worker(e, make_options(ckpt.path(), "w1"));
+  EXPECT_GT(first.shards_executed, 0);
+  const WorkerResult late = run_worker(e, make_options(ckpt.path(), "w2"));
+  EXPECT_EQ(late.shards_executed, 0);
+  EXPECT_EQ(late.exit_code, 0);
+}
+
+TEST(WorkerCrash, KilledMidShardIsReclaimedAndBitsStayIdentical) {
+  const exp::Experiment e = make_sleepy("worker_kill");
+  TempFile ckpt("kill");
+
+  // Victim process: a worker with a short lease TTL, killed mid-shard.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    WorkerOptions victim = make_options(ckpt.path(), "victim");
+    victim.lease_ttl_ms = 400;
+    const WorkerResult res = run_worker(e, victim);
+    std::_Exit(res.exit_code);
+  }
+  // Let it claim a shard and get partway through (one shard is ~24ms of
+  // sleeps), then kill -9 — no release, no cleanup, a live lease left over.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  // The rescuer finishes the run: it claims the open shards immediately and
+  // the victim's shard once its lease goes stale.
+  WorkerOptions rescuer = make_options(ckpt.path(), "rescuer");
+  rescuer.lease_ttl_ms = 400;
+  const WorkerResult res = run_worker(e, rescuer);
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_GT(res.shards_executed, 0);
+  EXPECT_EQ(folded_checkpoint_bits(e, ckpt.path()), single_run_bits(e));
+}
+
+TEST(WorkerFinalize, WinnerWritesOneAttributedReportAndCleansUp) {
+  const exp::Experiment e = make_synthetic("worker_final");
+  const std::string dir =
+      std::string(::testing::TempDir()) + "blunt_worker_bench";
+  ::mkdir(dir.c_str(), 0755);
+  const std::string bench_path = dir + "/BENCH_worker_final.json";
+  std::remove(bench_path.c_str());
+  EnvGuard bench_dir("BLUNT_BENCH_DIR", dir);
+  EnvGuard no_ledger("BLUNT_LEDGER", "0");
+  TempFile ckpt("final");
+
+  WorkerOptions o = make_options(ckpt.path(), "solo");
+  o.finalize = true;
+  const WorkerResult res = run_worker(e, o);
+  EXPECT_TRUE(res.finalized);
+  EXPECT_EQ(res.exit_code, 0);
+
+  // The run files are gone (checkpoint first, journal last).
+  EXPECT_FALSE(std::ifstream(ckpt.path()).good());
+  EXPECT_FALSE(std::ifstream(resolve_lease_path(o)).good());
+
+  std::ifstream in(bench_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const obs::Json report = obs::Json::parse(buf.str());
+
+  const exp::ShardLayout l = exp::resolve_layout(e, exp::RunOptions{});
+  const obs::Json& workers = report.at("workers");
+  ASSERT_TRUE(workers.is_object());
+  ASSERT_EQ(workers.as_object().count("solo"), 1u);
+  EXPECT_EQ(workers.at("solo").at("shards").as_int(), l.num_shards);
+  EXPECT_EQ(workers.at("solo").at("trials").as_int(), l.trials);
+  EXPECT_EQ(report.at("environment").at("engine_workers").as_int(), 1);
+
+  // The metrics section is byte-identical to the single-process engine path
+  // (attribution lives OUTSIDE metrics precisely so this holds).
+  const std::string base_dir =
+      std::string(::testing::TempDir()) + "blunt_worker_base";
+  ::mkdir(base_dir.c_str(), 0755);
+  const std::string base_path = base_dir + "/BENCH_worker_final.json";
+  std::remove(base_path.c_str());
+  {
+    EnvGuard base_bench("BLUNT_BENCH_DIR", base_dir);
+    EXPECT_EQ(exp::run_and_report(e, exp::RunOptions{}), 0);
+  }
+  std::ifstream base_in(base_path);
+  ASSERT_TRUE(base_in.good());
+  std::ostringstream base_buf;
+  base_buf << base_in.rdbuf();
+  const obs::Json baseline = obs::Json::parse(base_buf.str());
+  EXPECT_EQ(report.at("metrics").dump(), baseline.at("metrics").dump());
+  EXPECT_TRUE(baseline.find("workers") == nullptr);
+
+  std::remove(bench_path.c_str());
+  std::remove(base_path.c_str());
+}
+
+}  // namespace
+}  // namespace blunt::svc
