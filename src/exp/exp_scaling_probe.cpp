@@ -1,7 +1,7 @@
 // Scaling probe: per-subsystem cost-per-step curves as the ABD replication
 // width n grows.
 //
-// The trial space is grouped by n ∈ {4, 8, 16, 32, 64, 128, 256}: each group
+// The trial space is grouped by n ∈ {4, 8, ..., 512, 1024}: each group
 // runs weakener-over-ABD^2 trials at that replication width with the
 // deterministic profiler ALWAYS on (profiling is the point of this
 // experiment, so it does not wait for --profile), at TraceDetail::kNone —
@@ -9,12 +9,13 @@
 // Wing–Gong checker over the run's history with the same profiler, so the
 // kLinCheck phase and memo counters scale alongside.
 //
-// The merged per-n ProfileSnapshots ("n4" ... "n256") yield the headline
-// curves: events scanned per scheduler step (the enabled-scan linear blowup
-// ROADMAP item 1 targets — the scan walks the in-transit message set, which
-// grows with n), quorum-map touches per step, and deliveries per step — all
-// exact integers, bit-identical for any --threads value. Advisory ns curves
-// ride along in timings_ms. The committed baseline
+// The merged per-n ProfileSnapshots ("n4" ... "n1024") yield the headline
+// curves: events scanned per scheduler step (flat O(state changes) since
+// the incremental enabled-index overhaul; the pre-overhaul kernel's linear
+// rescan is frozen in BENCH_scaling_probe_pre_overhaul.json), quorum
+// bookkeeping touches per step, and deliveries per step — all exact
+// integers, bit-identical for any --threads value. Advisory ns curves ride
+// along in timings_ms. The committed baseline
 // bench/baselines/BENCH_scaling_probe.json is the before/after yardstick
 // for any future scheduler-scan optimization.
 #include <cstdio>
@@ -34,7 +35,7 @@
 namespace blunt::exp {
 namespace {
 
-constexpr int kNs[] = {4, 8, 16, 32, 64, 128, 256};
+constexpr int kNs[] = {4, 8, 16, 32, 64, 128, 256, 512, 1024};
 constexpr int kNumGroups = static_cast<int>(sizeof(kNs) / sizeof(kNs[0]));
 constexpr int kPreambleK = 2;
 
@@ -205,12 +206,12 @@ Experiment make_scaling_probe_experiment() {
   e.name = "scaling_probe";
   e.description =
       "per-subsystem cost-per-step curves vs ABD replication width n "
-      "(4..256): profiled weakener ABD^2 trials quantifying the scheduler's "
-      "enabled-scan blowup";
-  e.default_trials = 112;  // 16 per n group
+      "(4..1024): profiled weakener ABD^2 trials quantifying the scheduler's "
+      "per-step enumeration cost";
+  e.default_trials = 16 * kNumGroups;  // 16 per n group
   e.default_seed = 7;
   e.resolve_trials = [](std::int64_t requested) {
-    std::int64_t t = requested >= 0 ? requested : 112;
+    std::int64_t t = requested >= 0 ? requested : 16 * kNumGroups;
     if (t < kNumGroups) t = kNumGroups;
     // Round up to a whole number of equal-size n groups.
     const std::int64_t rem = t % kNumGroups;

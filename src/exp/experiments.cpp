@@ -11,6 +11,7 @@ Experiment make_snapshot_blunting_experiment();
 Experiment make_hotpath_experiment();
 Experiment make_fuzz_search_experiment();
 Experiment make_scaling_probe_experiment();
+Experiment make_n_sweep_experiment();
 
 void register_builtin_experiments() {
   static const bool once = [] {
@@ -22,6 +23,7 @@ void register_builtin_experiments() {
     register_experiment(make_hotpath_experiment());
     register_experiment(make_fuzz_search_experiment());
     register_experiment(make_scaling_probe_experiment());
+    register_experiment(make_n_sweep_experiment());
     return true;
   }();
   (void)once;

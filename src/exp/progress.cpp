@@ -1,9 +1,12 @@
 #include "exp/progress.hpp"
 
+#include <glob.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <thread>
 #include <utility>
 
@@ -285,23 +288,46 @@ std::string render_multi_status_line(const std::vector<ProgressSample>& latest) 
   return buf;
 }
 
+std::vector<std::string> expand_progress_patterns(
+    const std::vector<std::string>& patterns) {
+  std::vector<std::string> paths;
+  for (const std::string& pat : patterns) {
+    glob_t g{};
+    const int rc = glob(pat.c_str(), GLOB_NOSORT, nullptr, &g);
+    if (rc == 0) {
+      for (std::size_t i = 0; i < g.gl_pathc; ++i) {
+        paths.emplace_back(g.gl_pathv[i]);
+      }
+    } else {
+      // No match (or glob error): keep the pattern verbatim. A literal
+      // path that does not exist yet must still be tracked — the watch
+      // tolerates missing files — and a wildcard that never matches just
+      // stays a missing file forever.
+      paths.push_back(pat);
+    }
+    globfree(&g);
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  return paths;
+}
+
 int watch_progress_multi(const std::vector<std::string>& paths, int poll_ms,
                          std::FILE* out, long max_polls) {
   if (poll_ms < 10) poll_ms = 10;
   long polls = 0;
-  std::vector<TailState> tails;
-  tails.reserve(paths.size());
-  for (const std::string& p : paths) {
-    TailState t;
-    t.path = p;
-    tails.push_back(std::move(t));
-  }
+  // Keyed by expanded path so a file discovered on a later poll (a worker
+  // heartbeat appearing after the watch started) begins a fresh tail while
+  // files seen before keep their incremental offsets.
+  std::map<std::string, TailState> tails;
   WatchRenderer renderer{out, {}};
   for (;;) {
     std::vector<ProgressSample> latest;
     std::size_t existing = 0, existing_done = 0;
     bool any_complete = false;
-    for (TailState& t : tails) {
+    for (const std::string& p : expand_progress_patterns(paths)) {
+      TailState& t = tails[p];
+      if (t.path.empty()) t.path = p;
       std::optional<ProgressSample> s = t.poll();
       if (t.exists) ++existing;
       if (s) {

@@ -21,12 +21,19 @@
 // active partition — they stay in transit and become deliverable when the
 // partition heals. Every fault decision is deterministic (see
 // sim/fault_hooks.hpp), so faulty executions replay exactly.
+//
+// Enabled-index integration (DESIGN.md §14): when attached to a World, the
+// Network runs in push mode — every send/deliver/crash-drop pushes a delta
+// to the World's incremental enabled-index, and enumeration_version()
+// reports kSourcePushed so the World never re-enumerates it. Setting a
+// fault layer permanently disables push mode (partitions hide and reveal
+// messages without mutating the in-transit set, so only a per-scan rescan
+// is sound); set the fault layer before the first scheduler step.
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <functional>
-#include <map>
-#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -63,6 +70,7 @@ class Network final : public sim::DeliverySource {
         metrics_(metrics) {
     BLUNT_ASSERT(num_processes_ > 0, "Network with no processes");
     handlers_.resize(static_cast<std::size_t>(num_processes_));
+    crashed_.resize(static_cast<std::size_t>(num_processes_), 0);
     if (metrics_ != nullptr) {
       sent_counter_ = metrics_->counter(obs::kMessagesSent);
       delivered_counter_ = metrics_->counter(obs::kMessagesDelivered);
@@ -76,9 +84,14 @@ class Network final : public sim::DeliverySource {
   }
 
   /// Interposes `layer` on every subsequent send/enumerate (nullptr =
-  /// faithful channels, the default).
+  /// faithful channels, the default). Installing any layer permanently
+  /// drops this network out of enabled-index push mode: partition state
+  /// changes what enumerate() returns without touching in_transit_, so the
+  /// World must rescan it every step from then on (even if the layer is
+  /// later cleared — pushes suspended meanwhile cannot be replayed).
   void set_fault_layer(sim::FaultLayer* layer) {
     fault_layer_ = layer;
+    if (layer != nullptr) push_disabled_ = true;
     if (layer != nullptr && metrics_ != nullptr) {
       lost_counter_ = metrics_->counter(obs::kFaultMessagesLost);
       duplicated_counter_ = metrics_->counter(obs::kFaultMessagesDuplicated);
@@ -91,11 +104,12 @@ class Network final : public sim::DeliverySource {
     check_pid(to);
     ++messages_sent_;
     if (sent_counter_ != nullptr) sent_counter_->inc();
-    if (crashed_.contains(from)) {  // crash-stop: a dead sender injects nothing
+    if (crashed_[static_cast<std::size_t>(from)]) {
+      // crash-stop: a dead sender injects nothing
       if (dropped_counter_ != nullptr) dropped_counter_->inc();
       return;
     }
-    if (crashed_.contains(to)) {  // dropped
+    if (crashed_[static_cast<std::size_t>(to)]) {  // dropped
       if (dropped_counter_ != nullptr) dropped_counter_->inc();
       return;
     }
@@ -143,7 +157,16 @@ class Network final : public sim::DeliverySource {
         ++messages_duplicated_;
         if (duplicated_counter_ != nullptr) duplicated_counter_->inc();
       }
-      in_transit_.emplace(id, Envelope{id, from, to, msg});
+      // ids are monotone, so the vector stays sorted by append.
+      in_transit_.push_back(Envelope{id, from, to, msg});
+      if (push_active()) {
+        sink_->source_event_insert(
+            source_id_, id, to,
+            sink_->source_wants_summaries()
+                ? name_ + " " + msg.summary() + " from p" +
+                      std::to_string(from)
+                : std::string());
+      }
     }
   }
 
@@ -156,12 +179,12 @@ class Network final : public sim::DeliverySource {
 
   void enumerate(std::vector<sim::PendingDelivery>& out,
                  bool want_summaries) const override {
-    for (const auto& [id, env] : in_transit_) {
+    for (const Envelope& env : in_transit_) {
       if (fault_layer_ != nullptr &&
           fault_layer_->channel_blocked(env.from, env.to)) {
         continue;  // severed by a partition; held until it heals
       }
-      out.push_back({id, env.to,
+      out.push_back({env.id, env.to,
                      want_summaries ? name_ + " " + env.payload.summary() +
                                           " from p" + std::to_string(env.from)
                                     : std::string()});
@@ -169,11 +192,13 @@ class Network final : public sim::DeliverySource {
   }
 
   void deliver(int msg_id) override {
-    auto it = in_transit_.find(msg_id);
-    BLUNT_ASSERT(it != in_transit_.end(), "deliver of unknown msg " << msg_id);
-    Envelope env = std::move(it->second);
+    auto it = find_in_transit(msg_id);
+    BLUNT_ASSERT(it != in_transit_.end() && it->id == msg_id,
+                 "deliver of unknown msg " << msg_id);
+    Envelope env = std::move(*it);
     in_transit_.erase(it);
-    BLUNT_ASSERT(!crashed_.contains(env.to),
+    if (push_active()) sink_->source_event_erase(source_id_, msg_id);
+    BLUNT_ASSERT(!crashed_[static_cast<std::size_t>(env.to)],
                  "deliver to crashed p" << env.to);
     ++messages_delivered_;
     if (delivered_counter_ != nullptr) delivered_counter_->inc();
@@ -184,27 +209,36 @@ class Network final : public sim::DeliverySource {
   }
 
   void on_crash(Pid pid) override {
-    crashed_.insert(pid);
-    for (auto it = in_transit_.begin(); it != in_transit_.end();) {
-      if (it->second.to == pid) {
-        if (dropped_counter_ != nullptr) dropped_counter_->inc();
-        it = in_transit_.erase(it);
-      } else {
-        ++it;
-      }
+    crashed_[static_cast<std::size_t>(pid)] = 1;
+    for (const Envelope& env : in_transit_) {
+      if (env.to != pid) continue;
+      if (dropped_counter_ != nullptr) dropped_counter_->inc();
+      if (push_active()) sink_->source_event_erase(source_id_, env.id);
     }
+    std::erase_if(in_transit_,
+                  [pid](const Envelope& e) { return e.to == pid; });
   }
 
   void describe_pending(std::vector<std::string>& out) const override {
-    for (const auto& [id, env] : in_transit_) {
+    for (const Envelope& env : in_transit_) {
       const bool blocked =
           fault_layer_ != nullptr &&
           fault_layer_->channel_blocked(env.from, env.to);
-      out.push_back(name_ + " msg" + std::to_string(id) + " p" +
+      out.push_back(name_ + " msg" + std::to_string(env.id) + " p" +
                     std::to_string(env.from) + "→p" + std::to_string(env.to) +
                     " " + env.payload.summary() +
                     (blocked ? " [held by partition]" : " [deliverable]"));
     }
+  }
+
+  [[nodiscard]] std::int64_t enumeration_version() const override {
+    return push_active() ? sim::kSourcePushed : sim::kSourceUnversioned;
+  }
+
+  void bind_enabled_index(sim::EnabledIndexSink* sink,
+                          int source_id) override {
+    sink_ = sink;
+    source_id_ = source_id;
   }
 
   // -- Introspection --
@@ -233,6 +267,17 @@ class Network final : public sim::DeliverySource {
                  "bad pid " << pid << " on network " << name_);
   }
 
+  [[nodiscard]] bool push_active() const {
+    return sink_ != nullptr && !push_disabled_;
+  }
+
+  [[nodiscard]] typename std::vector<Envelope>::iterator find_in_transit(
+      int msg_id) {
+    return std::lower_bound(
+        in_transit_.begin(), in_transit_.end(), msg_id,
+        [](const Envelope& e, int id) { return e.id < id; });
+  }
+
   std::string name_;
   int num_processes_;
   sim::Trace* trace_;
@@ -244,8 +289,16 @@ class Network final : public sim::DeliverySource {
   obs::Counter* lost_counter_ = nullptr;
   obs::Counter* duplicated_counter_ = nullptr;
   std::vector<Handler> handlers_;
-  std::map<int, Envelope> in_transit_;  // keyed by id => canonical order
-  std::set<Pid> crashed_;
+  // Sorted by id (monotone assignment => append keeps order); binary-search
+  // erase on deliver. Replaced the historical std::map: same canonical
+  // enumeration order, no node allocations on the send path.
+  std::vector<Envelope> in_transit_;
+  std::vector<char> crashed_;  // indexed by pid
+  // Enabled-index push binding (set by World::attach via
+  // bind_enabled_index); push_disabled_ latches when a fault layer is set.
+  sim::EnabledIndexSink* sink_ = nullptr;
+  int source_id_ = -1;
+  bool push_disabled_ = false;
   int next_id_ = 0;
   int messages_sent_ = 0;
   int messages_delivered_ = 0;

@@ -95,11 +95,26 @@ void AbdRegister::handle(Pid to, Pid from, const AbdMessage& m) {
       net_.send(to, from,
                 {AbdMessage::Type::kReply, m.sn, srv.val, srv.ts});
       break;
-    case AbdMessage::Type::kReply:
-      // Keyed by responder: a duplicated or re-elicited reply is idempotent.
+    case AbdMessage::Type::kReply: {
+      // Deduped by the responder bitset: a duplicated or re-elicited reply
+      // is dropped before it can double-count or perturb the running max
+      // (first reply per responder wins, as the historical map did).
       if (prof_ != nullptr) prof_->count(obs::ProfCounter::kQuorumTouches);
-      cli.replies[m.sn].emplace(from, std::make_pair(m.val, m.ts));
+      Phase& ph = phase_slot(cli, m.sn);
+      const auto word = static_cast<std::size_t>(from) >> 6;
+      const std::uint64_t bit = std::uint64_t{1} << (from & 63);
+      if ((ph.responders[word] & bit) != 0) break;
+      ph.responders[word] |= bit;
+      ++ph.count;
+      if (!ph.any || m.ts > ph.best_ts) {
+        ph.any = true;
+        ph.best_val = m.val;
+        ph.best_ts = m.ts;
+      }
+      ++mutation_stamp_;
+      world_.wake_hint(to);
       break;
+    }
     case AbdMessage::Type::kUpdate:
       // Lines 18–20: adopt if newer, always ack. Timestamps are monotone, so
       // re-applying a retransmitted update is a no-op.
@@ -109,29 +124,47 @@ void AbdRegister::handle(Pid to, Pid from, const AbdMessage& m) {
       }
       net_.send(to, from, {AbdMessage::Type::kAck, m.sn});
       break;
-    case AbdMessage::Type::kAck:
-      // A set, not a count: duplicated acks cannot fake a quorum.
+    case AbdMessage::Type::kAck: {
+      // The same bitset dedupe: duplicated acks cannot fake a quorum.
       if (prof_ != nullptr) prof_->count(obs::ProfCounter::kQuorumTouches);
-      cli.acks[m.sn].insert(from);
+      Phase& ph = phase_slot(cli, m.sn);
+      const auto word = static_cast<std::size_t>(from) >> 6;
+      const std::uint64_t bit = std::uint64_t{1} << (from & 63);
+      if ((ph.responders[word] & bit) != 0) break;
+      ph.responders[word] |= bit;
+      ++ph.count;
+      ++mutation_stamp_;
+      world_.wake_hint(to);
       break;
+    }
   }
 }
 
 bool AbdRegister::phase_satisfied(Pid client, int sn,
                                   AbdMessage::Type type) const {
-  // The dominant quorum-bookkeeping site: polled by the scheduler's wait
-  // predicates on every enabled scan, so this is where map-based quorum
-  // tracking shows up in the n-scaling probe.
+  // O(1): the phase keeps a distinct-responder count, so the quorum test is
+  // one compare regardless of n. Polled at park and on wake_hint (signaled
+  // waits), not on every enabled scan.
   const obs::ScopedPhase prof_scope(prof_, obs::Phase::kQuorum);
   if (prof_ != nullptr) prof_->count(obs::ProfCounter::kQuorumTouches);
+  (void)type;  // query and update phases share the sn counter
   const Client& c = clients_[static_cast<std::size_t>(client)];
-  if (type == AbdMessage::Type::kQuery) {
-    const auto it = c.replies.find(sn);
-    return it != c.replies.end() &&
-           static_cast<int>(it->second.size()) >= quorum_;
+  if (sn >= static_cast<int>(c.phases.size())) return false;
+  return static_cast<int>(c.phases[static_cast<std::size_t>(sn)].count) >=
+         quorum_;
+}
+
+AbdRegister::Phase& AbdRegister::phase_slot(Client& cli, int sn) {
+  BLUNT_ASSERT(sn >= 0 && sn < cli.next_sn, "reply for unknown phase " << sn);
+  if (sn >= static_cast<int>(cli.phases.size())) {
+    cli.phases.resize(static_cast<std::size_t>(sn) + 1);
   }
-  const auto it = c.acks.find(sn);
-  return it != c.acks.end() && static_cast<int>(it->second.size()) >= quorum_;
+  Phase& ph = cli.phases[static_cast<std::size_t>(sn)];
+  if (ph.responders.empty()) {
+    ph.responders.resize(
+        (static_cast<std::size_t>(opts_.num_processes) + 63) / 64, 0);
+  }
+  return ph;
 }
 
 // -- ResendSource ------------------------------------------------------------
@@ -140,12 +173,14 @@ void AbdRegister::ResendSource::arm(Pid client, int sn, AbdMessage msg,
                                     int retries) {
   if (retries <= 0) return;
   tokens_.emplace(next_token_++, Token{client, sn, std::move(msg), retries});
+  ++reg_->mutation_stamp_;
 }
 
 void AbdRegister::ResendSource::disarm(Pid client, int sn) {
   for (auto it = tokens_.begin(); it != tokens_.end();) {
     if (it->second.client == client && it->second.sn == sn) {
       it = tokens_.erase(it);
+      ++reg_->mutation_stamp_;
     } else {
       ++it;
     }
@@ -191,6 +226,7 @@ void AbdRegister::ResendSource::deliver(int msg_id) {
   const Pid client = t.client;
   const AbdMessage msg = t.msg;
   if (t.retries_left <= 0) tokens_.erase(it);
+  ++reg_->mutation_stamp_;
   reg_->net_.broadcast(client, msg);
 }
 
@@ -198,10 +234,15 @@ void AbdRegister::ResendSource::on_crash(Pid pid) {
   for (auto it = tokens_.begin(); it != tokens_.end();) {
     if (it->second.client == pid) {
       it = tokens_.erase(it);
+      ++reg_->mutation_stamp_;
     } else {
       ++it;
     }
   }
+}
+
+std::int64_t AbdRegister::ResendSource::enumeration_version() const {
+  return reg_->mutation_stamp_;
 }
 
 void AbdRegister::ResendSource::describe_pending(
@@ -229,21 +270,22 @@ sim::Task<std::pair<sim::Value, Timestamp>> AbdRegister::query_phase(
     resend_src_.arm(p.pid(), sn, msg, opts_.max_retransmits);
   }
   const Pid pid = p.pid();
+  // Signaled wait: the quorum predicate is monotone (responder counts only
+  // grow), and every kReply arrival calls World::wake_hint — so the
+  // scheduler never re-polls it on an enabled scan.
   co_await p.wait_until(
       [this, pid, sn] {
         return phase_satisfied(pid, sn, AbdMessage::Type::kQuery);
       },
-      label_query_quorum_, inv);
+      label_query_quorum_, inv, sim::WaitHint::kSignaled);
   resend_src_.disarm(pid, sn);
   if (quorum_round_trips_ != nullptr) quorum_round_trips_->inc();
   // Line 9: pair in reply with the largest timestamp, over the replies
-  // received by the time this step is scheduled.
-  const auto& replies = cli.replies[sn];
-  std::pair<sim::Value, Timestamp> best = replies.begin()->second;
-  for (const auto& [from, r] : replies) {
-    if (r.second > best.second) best = r;
-  }
-  co_return best;
+  // received by the time this step is scheduled — maintained as a running
+  // max on arrival, so reading it off the phase is O(1).
+  const Phase& ph = cli.phases[static_cast<std::size_t>(sn)];
+  BLUNT_ASSERT(ph.any, "query quorum with no reply recorded");
+  co_return std::pair<sim::Value, Timestamp>{ph.best_val, ph.best_ts};
 }
 
 sim::Task<void> AbdRegister::update_phase(sim::Proc p, InvocationId inv,
@@ -261,7 +303,7 @@ sim::Task<void> AbdRegister::update_phase(sim::Proc p, InvocationId inv,
       [this, pid, sn] {
         return phase_satisfied(pid, sn, AbdMessage::Type::kUpdate);
       },
-      label_update_quorum_, inv);
+      label_update_quorum_, inv, sim::WaitHint::kSignaled);
   resend_src_.disarm(pid, sn);
   if (quorum_round_trips_ != nullptr) quorum_round_trips_->inc();
 }

@@ -26,8 +26,8 @@
 // query phase and stamps writes from a local counter (its Write preamble is
 // empty, so only Read is iterated).
 //
-// Fault tolerance beyond crashes: quorum counting is idempotent — replies
-// and acks are keyed by (phase sequence number, responder pid), so a
+// Fault tolerance beyond crashes: quorum counting is idempotent — each
+// phase tracks its distinct responders in a per-phase pid bitset, so a
 // duplicated kReply/kAck never double-counts toward a quorum, and a
 // retransmitted query/update elicits at most one counted response per
 // server. With Options::max_retransmits > 0, each phase arms a bounded
@@ -39,8 +39,8 @@
 // linearizability.
 #pragma once
 
+#include <cstdint>
 #include <map>
-#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -129,11 +129,27 @@ class AbdRegister final : public RegisterObject {
     sim::Value val;
     Timestamp ts{0, 0};
   };
+  /// One phase's quorum bookkeeping: a distinct-responder count plus a pid
+  /// bitset for dedupe, and the running maximum-timestamp reply. Replaces
+  /// the historical per-phase std::map of full replies: phase_satisfied
+  /// becomes a single integer compare (O(1) at majorities of 500+), and a
+  /// query phase reads its result off best_val/best_ts directly. The
+  /// running max is byte-identical to the old scan-the-map maximum because
+  /// a full timestamp (number, pid) determines its value uniquely, the
+  /// compare is strictly-greater either way, and the bitset keeps the FIRST
+  /// reply per responder exactly as map::emplace did.
+  struct Phase {
+    std::uint32_t count = 0;  // distinct responders recorded so far
+    bool any = false;         // at least one reply folded into best (query)
+    sim::Value best_val;
+    Timestamp best_ts{0, 0};
+    std::vector<std::uint64_t> responders;  // pid bitset, sized lazily
+  };
   struct Client {
     int next_sn = 0;
-    // Quorum bookkeeping keyed by responder pid: duplicates are idempotent.
-    std::map<int, std::map<Pid, std::pair<sim::Value, Timestamp>>> replies;
-    std::map<int, std::set<Pid>> acks;
+    // Indexed by phase sequence number; query and update phases share the
+    // sn counter, so each slot belongs to exactly one phase.
+    std::vector<Phase> phases;
   };
 
   /// Bounded per-phase resend tokens, exposed to the World as schedulable
@@ -151,6 +167,11 @@ class AbdRegister final : public RegisterObject {
     void deliver(int msg_id) override;
     void on_crash(Pid pid) override;
     void describe_pending(std::vector<std::string>& out) const override;
+
+    /// enumerate() depends on the token set AND on phase_satisfied, so the
+    /// register bumps one shared stamp on every quorum-state or token
+    /// mutation; the World re-enumerates only when it moved.
+    [[nodiscard]] std::int64_t enumeration_version() const override;
 
    private:
     struct Token {
@@ -176,9 +197,12 @@ class AbdRegister final : public RegisterObject {
   void handle(Pid to, Pid from, const AbdMessage& m);
 
   /// True once the phase `sn` of `client` has its quorum (distinct
-  /// responders only).
+  /// responders only). O(1): one bounds check and one integer compare.
   [[nodiscard]] bool phase_satisfied(Pid client, int sn,
                                      AbdMessage::Type type) const;
+
+  /// The phase slot for (cli, sn), grown and bitset-sized on first touch.
+  [[nodiscard]] Phase& phase_slot(Client& cli, int sn);
 
   std::string name_;
   // Step labels precomputed once: the phase hot paths park with borrowed
@@ -194,8 +218,8 @@ class AbdRegister final : public RegisterObject {
   int quorum_;
   // Observability (null when the World's metrics are off).
   obs::Counter* quorum_round_trips_ = nullptr;
-  // Profiling (null when the World's profiler is off): quorum-map touches,
-  // attributed to obs::Phase::kQuorum.
+  // Profiling (null when the World's profiler is off): quorum bookkeeping
+  // touches, attributed to obs::Phase::kQuorum.
   obs::Profiler* prof_ = nullptr;
   obs::Counter* preamble_executed_ = nullptr;
   obs::Counter* preamble_kept_ = nullptr;
@@ -204,6 +228,9 @@ class AbdRegister final : public RegisterObject {
   ResendSource resend_src_;
   std::vector<Server> servers_;
   std::vector<Client> clients_;
+  // Monotone stamp backing ResendSource::enumeration_version(): bumped on
+  // every reply/ack recorded and on every token arm/disarm/fire/crash-drop.
+  std::int64_t mutation_stamp_ = 0;
   std::int64_t writer_seq_ = 0;  // single-writer variant's local stamp
   int query_phases_run_ = 0;
   int retransmissions_ = 0;

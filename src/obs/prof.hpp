@@ -39,16 +39,16 @@ namespace blunt::obs {
 /// Subsystem phases. The hierarchy is STATIC (each phase has one fixed
 /// parent) so collapsed-stack export needs no per-sample stack walking; a
 /// phase that can run under several dynamic parents (kQuorum fires from
-/// wait-predicate polling during the enabled scan AND from message
-/// handlers) is attributed to its dominant site, documented per phase.
+/// message handlers AND from park-time/wake-hint predicate polls) is
+/// attributed to its dominant site, documented per phase.
 enum class Phase : int {
   kRun = 0,              // World::run adversary loop (root)
   kEnabledScan,          //   enabled-event enumeration (scheduler scan)
-  kQuorum,               //     ABD quorum bookkeeping (dominant: wait polls)
   kAdversaryChoice,      //   Adversary::choose
   kCoverageFingerprint,  //     schedule fingerprinting (coverage layer)
   kExecute,              //   one chosen event's execution
   kNetDelivery,          //     message delivery + handler
+  kQuorum,               //       ABD quorum bookkeeping (dominant: handlers)
   kLinCheck,             // Wing–Gong linearizability check (root)
 };
 
@@ -74,12 +74,12 @@ inline constexpr int kNumPhases = 8;
   switch (p) {
     case Phase::kRun: return -1;
     case Phase::kEnabledScan: return static_cast<int>(Phase::kRun);
-    case Phase::kQuorum: return static_cast<int>(Phase::kEnabledScan);
     case Phase::kAdversaryChoice: return static_cast<int>(Phase::kRun);
     case Phase::kCoverageFingerprint:
       return static_cast<int>(Phase::kAdversaryChoice);
     case Phase::kExecute: return static_cast<int>(Phase::kRun);
     case Phase::kNetDelivery: return static_cast<int>(Phase::kExecute);
+    case Phase::kQuorum: return static_cast<int>(Phase::kNetDelivery);
     case Phase::kLinCheck: return -1;
   }
   return -1;
@@ -89,18 +89,29 @@ inline constexpr int kNumPhases = 8;
 // Exact work counters
 
 enum class ProfCounter : int {
-  kEventsScanned = 0,   // enabled events enumerated, summed over steps
+  kEventsScanned = 0,   // per-event enable-status evaluations: wait-predicate
+                        // polls, entries rebuilt on a source re-enumeration,
+                        // and incremental enabled-index insert/replace/erase
+                        // ops. With the incremental index this is O(state
+                        // changes) per step, not O(enabled-list length); the
+                        // pre-overhaul kernel recomputed every entry every
+                        // step, so the old value was the enabled-list total.
   kStepsExecuted,       // events executed (== sched steps)
   kDeliveries,          // message deliveries executed
-  kQuorumTouches,       // ABD quorum-map probes/inserts
+  kQuorumTouches,       // ABD quorum bookkeeping probes/inserts
   kMemoProbes,          // Wing–Gong failed-node memo lookups
   kMemoHits,            // ... that hit
   kFingerprintHashes,   // coverage fingerprint hash updates
   kBytesAllocated,      // operator-new bytes inside the run loop (hooked)
   kAllocCalls,          // operator-new calls inside the run loop (hooked)
+  kIndexUpdates,        // mutations applied to the incremental enabled-index
+                        // (resume-region ops, delivery-cache pushes/rebuild
+                        // entries, crash-region ops)
+  kPredPollsAvoided,    // blocked signaled-wait processes NOT re-polled on a
+                        // scan (the polls the pre-overhaul kernel performed)
 };
 
-inline constexpr int kNumCounters = 9;
+inline constexpr int kNumCounters = 11;
 
 [[nodiscard]] constexpr const char* counter_name(ProfCounter c) {
   switch (c) {
@@ -113,6 +124,8 @@ inline constexpr int kNumCounters = 9;
     case ProfCounter::kFingerprintHashes: return "fingerprint_hashes";
     case ProfCounter::kBytesAllocated: return "bytes_allocated";
     case ProfCounter::kAllocCalls: return "alloc_calls";
+    case ProfCounter::kIndexUpdates: return "index_updates";
+    case ProfCounter::kPredPollsAvoided: return "pred_polls_avoided";
   }
   return "?";
 }

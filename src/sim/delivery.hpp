@@ -5,6 +5,7 @@
 // one. Keeping only this interface in sim avoids a sim -> net dependency.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,33 @@ struct PendingDelivery {
   int msg_id = -1;
   Pid to = -1;
   std::string summary;  // human-readable message description
+};
+
+/// Sentinels for DeliverySource::enumeration_version().
+inline constexpr std::int64_t kSourceUnversioned = -1;
+inline constexpr std::int64_t kSourcePushed = -2;
+
+/// The World's incremental enabled-index, seen from a delivery source. A
+/// source that can report its own mutations pushes per-message deltas here
+/// instead of being re-enumerated every scheduler step. Deltas arrive in
+/// canonical order (msg_id strictly increasing per source for inserts); the
+/// sink ignores deltas until it has synced the source once via enumerate().
+class EnabledIndexSink {
+ public:
+  virtual ~EnabledIndexSink() = default;
+
+  /// A new message became deliverable. `summary` may be empty; it is only
+  /// consulted when wants_summaries() is true, and is copied by the sink.
+  virtual void source_event_insert(int source_id, int msg_id, Pid to,
+                                   std::string&& summary) = 0;
+
+  /// Message `msg_id` is no longer deliverable (delivered or recipient
+  /// crashed). No-op if the sink has not yet synced this source.
+  virtual void source_event_erase(int source_id, int msg_id) = 0;
+
+  /// True when the World runs at full trace detail and inserts must carry a
+  /// formatted summary. Constant for the lifetime of the binding.
+  [[nodiscard]] virtual bool source_wants_summaries() const = 0;
 };
 
 class DeliverySource {
@@ -43,6 +71,30 @@ class DeliverySource {
   /// Feeds the World's deadlock diagnostics; default: nothing to report.
   virtual void describe_pending(std::vector<std::string>& out) const {
     (void)out;
+  }
+
+  /// Dirty-tracking contract with the World's incremental enabled-index.
+  ///
+  ///  - kSourceUnversioned (default): the deliverable set may change without
+  ///    notice (e.g. a fault layer hides/reveals messages as partitions
+  ///    form/heal); the World re-enumerates the source every scan.
+  ///  - kSourcePushed: the source pushes every mutation to the bound
+  ///    EnabledIndexSink; the World enumerates once to sync, then trusts the
+  ///    pushed deltas.
+  ///  - v >= 0: a monotone stamp the source MUST bump on every mutation of
+  ///    its deliverable set, including on_crash() and any state change that
+  ///    alters what enumerate() would return; the World re-enumerates only
+  ///    when the stamp moved.
+  [[nodiscard]] virtual std::int64_t enumeration_version() const {
+    return kSourceUnversioned;
+  }
+
+  /// Called once when the source is attached to a World. Sources that can
+  /// push deltas store the sink and its assigned source_id; the default
+  /// (rescan/versioned) implementation ignores it.
+  virtual void bind_enabled_index(EnabledIndexSink* sink, int source_id) {
+    (void)sink;
+    (void)source_id;
   }
 };
 

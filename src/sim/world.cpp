@@ -43,15 +43,26 @@ Pid World::add_process(std::string name, ProcessBody body) {
   s.body = std::make_unique<ProcessBody>(std::move(body));
   s.root = (*s.body)(Proc(this, pid));
   BLUNT_ASSERT(s.root.valid(), "process body returned an empty Task");
-  s.state = ProcState::kNotStarted;
+  states_.push_back(ProcState::kNotStarted);
   per_process_invocations_.push_back(0);
+  // Seed the enabled-index: pids are assigned in ascending order, so both
+  // region appends keep their vectors sorted.
+  resume_events_.push_back({Event::Kind::kResume, pid, -1, -1, "start"});
+  s.in_resume_index = true;
+  if (cfg_.max_crashes > 0) {
+    crash_events_.push_back({Event::Kind::kCrash, pid, -1, -1, "crash"});
+  }
   return pid;
 }
 
 int World::attach(DeliverySource& src) {
   sources_.push_back(&src);
   pending_bufs_.emplace_back();
-  return static_cast<int>(sources_.size()) - 1;
+  oracle_pending_.emplace_back();
+  source_caches_.emplace_back();
+  const int sid = static_cast<int>(sources_.size()) - 1;
+  src.bind_enabled_index(this, sid);
+  return sid;
 }
 
 int World::register_object(std::string name) {
@@ -66,32 +77,100 @@ const std::string& World::process_name(Pid pid) const {
 
 bool World::crashed(Pid pid) const {
   BLUNT_ASSERT(pid >= 0 && pid < process_count(), "bad pid " << pid);
-  return slots_[pid].state == ProcState::kCrashed;
+  return states_[pid] == ProcState::kCrashed;
 }
 
 bool World::process_done(Pid pid) const {
   BLUNT_ASSERT(pid >= 0 && pid < process_count(), "bad pid " << pid);
-  return slots_[pid].state == ProcState::kDone;
+  return states_[pid] == ProcState::kDone;
 }
 
 bool World::finished() const {
-  return std::all_of(slots_.begin(), slots_.end(), [](const Slot& s) {
-    return s.state == ProcState::kDone || s.state == ProcState::kCrashed;
-  });
+  return done_or_crashed_ == static_cast<int>(slots_.size());
 }
 
 const std::vector<Event>& World::enabled_events() const {
-  // Member buffers (events_buf_, pending_bufs_) are reused across scheduler
-  // steps: after warm-up, a step enumerates, chooses, and executes without a
-  // single allocation. Event::what borrows — from literals, from the parked
-  // slots' pending labels, or from the pending buffers refilled here — and
-  // stays valid until the next enumeration.
+  // Assembled from the incremental enabled-index: bulk-copy the maintained
+  // resume region (merging in re-polled kPolled waiters when any exist),
+  // refresh per-source caches per their enumeration_version() contract, then
+  // append crash region and fault tick. Member buffers are reused across
+  // scheduler steps: after warm-up, a step enumerates, chooses, and executes
+  // without a single allocation (at reduced trace detail). Event::what
+  // borrows — from literals, from the parked slots' pending labels, or from
+  // the caches' stable summary storage — and stays valid until the index
+  // entry is next touched or the next enumeration.
   const obs::ScopedPhase prof_scope(prof_.get(), obs::Phase::kEnabledScan);
   std::vector<Event>& events = events_buf_;
   events.clear();
+  if (polled_waiters_.empty()) {
+    events.insert(events.end(), resume_events_.begin(), resume_events_.end());
+  } else {
+    // Merge-walk the (pid-sorted) maintained region and polled waiters; a
+    // pid is never in both. Polled waiters keep the pre-index behavior:
+    // their predicate runs on every scan.
+    std::size_t i = 0;
+    const std::size_t nresume = resume_events_.size();
+    for (const Pid pid : polled_waiters_) {
+      while (i < nresume && resume_events_[i].pid < pid) {
+        events.push_back(resume_events_[i++]);
+      }
+      const Slot& s = slots_[pid];
+      BLUNT_ASSERT(s.wait_pred, "blocked process without predicate");
+      if (prof_) prof_->count(obs::ProfCounter::kEventsScanned);
+      if (s.wait_pred()) {
+        events.push_back({Event::Kind::kResume, pid, -1, -1, s.pending_what});
+      }
+    }
+    events.insert(events.end(), resume_events_.begin() + i,
+                  resume_events_.end());
+  }
+  if (prof_ && signaled_blocked_ > 0) {
+    prof_->count(obs::ProfCounter::kPredPollsAvoided, signaled_blocked_);
+  }
+  for (int sid = 0; sid < static_cast<int>(sources_.size()); ++sid) {
+    SourceCache& c = source_caches_[sid];
+    const std::int64_t v = sources_[sid]->enumeration_version();
+    if (v == kSourcePushed) {
+      if (!c.push_synced) {
+        rebuild_source_cache(sid);
+        c.push_synced = true;
+      }
+    } else {
+      // Versioned or unversioned: pushes (if any ever arrived) are stale.
+      c.push_synced = false;
+      if (v == kSourceUnversioned || !c.synced || v != c.version_seen) {
+        rebuild_source_cache(sid);
+        c.version_seen = v;
+        c.synced = true;
+      }
+    }
+    events.insert(events.end(), c.events.begin(), c.events.end());
+  }
+  if (crashes_used_ < cfg_.max_crashes) {
+    events.insert(events.end(), crash_events_.begin(), crash_events_.end());
+  }
+  if (fault_layer_ != nullptr && fault_layer_->tick_pending(*this)) {
+    events.push_back({Event::Kind::kTick, -1, -1, -1, "fault-tick"});
+  }
+  if (cfg_.verify_enabled_index) verify_against_rescan(events);
+  return events;
+}
+
+const std::vector<Event>& World::enabled_events_rescan() const {
+  build_rescan(oracle_events_, oracle_pending_);
+  return oracle_events_;
+}
+
+// The pre-index linear algorithm, verbatim: poll every slot, re-enumerate
+// every source. The canonical order the incremental index must reproduce
+// byte for byte.
+void World::build_rescan(
+    std::vector<Event>& events,
+    std::vector<std::vector<PendingDelivery>>& bufs) const {
+  events.clear();
   for (Pid pid = 0; pid < process_count(); ++pid) {
     const Slot& s = slots_[pid];
-    switch (s.state) {
+    switch (states_[pid]) {
       case ProcState::kNotStarted:
         events.push_back({Event::Kind::kResume, pid, -1, -1, "start"});
         break;
@@ -114,7 +193,7 @@ const std::vector<Event>& World::enabled_events() const {
   }
   const bool want_summaries = trace_.wants_what();
   for (int sid = 0; sid < static_cast<int>(sources_.size()); ++sid) {
-    std::vector<PendingDelivery>& pending = pending_bufs_[sid];
+    std::vector<PendingDelivery>& pending = bufs[sid];
     pending.clear();
     sources_[sid]->enumerate(pending, want_summaries);
     for (const PendingDelivery& d : pending) {
@@ -125,8 +204,8 @@ const std::vector<Event>& World::enabled_events() const {
   }
   if (crashes_used_ < cfg_.max_crashes) {
     for (Pid pid = 0; pid < process_count(); ++pid) {
-      const Slot& s = slots_[pid];
-      if (s.state != ProcState::kDone && s.state != ProcState::kCrashed) {
+      if (states_[pid] != ProcState::kDone &&
+          states_[pid] != ProcState::kCrashed) {
         events.push_back({Event::Kind::kCrash, pid, -1, -1, "crash"});
       }
     }
@@ -134,11 +213,175 @@ const std::vector<Event>& World::enabled_events() const {
   if (fault_layer_ != nullptr && fault_layer_->tick_pending(*this)) {
     events.push_back({Event::Kind::kTick, -1, -1, -1, "fault-tick"});
   }
+}
+
+void World::verify_against_rescan(const std::vector<Event>& events) const {
+  build_rescan(oracle_events_, oracle_pending_);
+  BLUNT_ASSERT(events.size() == oracle_events_.size(),
+               "enabled-index diverged from rescan oracle: "
+                   << events.size() << " events vs " << oracle_events_.size()
+                   << " at step " << sched_steps_);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // Event::operator== compares string_view content, so this also checks
+    // the formatted labels byte for byte.
+    BLUNT_ASSERT(events[i] == oracle_events_[i],
+                 "enabled-index diverged from rescan oracle at step "
+                     << sched_steps_ << " index " << i << ": index has "
+                     << to_string(events[i]) << ", oracle has "
+                     << to_string(oracle_events_[i]));
+  }
+}
+
+// ---- Incremental enabled-index maintenance ----
+
+namespace {
+// Position of pid's event in a pid-sorted region.
+[[nodiscard]] std::vector<Event>::iterator region_find(std::vector<Event>& v,
+                                                       Pid pid) {
+  return std::lower_bound(
+      v.begin(), v.end(), pid,
+      [](const Event& e, Pid p) { return e.pid < p; });
+}
+}  // namespace
+
+void World::resume_region_insert(Pid pid, std::string_view what) {
+  auto it = region_find(resume_events_, pid);
+  BLUNT_ASSERT(it == resume_events_.end() || it->pid != pid,
+               "resume event for p" << pid << " already indexed");
+  resume_events_.insert(it, {Event::Kind::kResume, pid, -1, -1, what});
+  slots_[pid].in_resume_index = true;
+  if (prof_) {
+    prof_->count(obs::ProfCounter::kEventsScanned);
+    prof_->count(obs::ProfCounter::kIndexUpdates);
+  }
+}
+
+void World::resume_region_erase(Pid pid) {
+  auto it = region_find(resume_events_, pid);
+  BLUNT_ASSERT(it != resume_events_.end() && it->pid == pid,
+               "resume event for p" << pid << " not indexed");
+  resume_events_.erase(it);
+  slots_[pid].in_resume_index = false;
+  if (prof_) {
+    prof_->count(obs::ProfCounter::kEventsScanned);
+    prof_->count(obs::ProfCounter::kIndexUpdates);
+  }
+}
+
+void World::resume_region_set_what(Pid pid, std::string_view what) {
+  auto it = region_find(resume_events_, pid);
+  BLUNT_ASSERT(it != resume_events_.end() && it->pid == pid,
+               "resume event for p" << pid << " not indexed");
+  it->what = what;
+  if (prof_) {
+    prof_->count(obs::ProfCounter::kEventsScanned);
+    prof_->count(obs::ProfCounter::kIndexUpdates);
+  }
+}
+
+void World::polled_waiters_insert(Pid pid) {
+  auto it = std::lower_bound(polled_waiters_.begin(), polled_waiters_.end(),
+                             pid);
+  BLUNT_ASSERT(it == polled_waiters_.end() || *it != pid,
+               "p" << pid << " already a polled waiter");
+  polled_waiters_.insert(it, pid);
+  if (prof_) prof_->count(obs::ProfCounter::kIndexUpdates);
+}
+
+void World::polled_waiters_erase(Pid pid) {
+  auto it = std::lower_bound(polled_waiters_.begin(), polled_waiters_.end(),
+                             pid);
+  BLUNT_ASSERT(it != polled_waiters_.end() && *it == pid,
+               "p" << pid << " is not a polled waiter");
+  polled_waiters_.erase(it);
+  if (prof_) prof_->count(obs::ProfCounter::kIndexUpdates);
+}
+
+void World::crash_region_erase(Pid pid) {
+  auto it = region_find(crash_events_, pid);
+  BLUNT_ASSERT(it != crash_events_.end() && it->pid == pid,
+               "crash event for p" << pid << " not indexed");
+  crash_events_.erase(it);
+  if (prof_) prof_->count(obs::ProfCounter::kIndexUpdates);
+}
+
+void World::rebuild_source_cache(int sid) const {
+  SourceCache& c = source_caches_[sid];
+  const bool want_summaries = trace_.wants_what();
+  std::vector<PendingDelivery>& pending = pending_bufs_[sid];
+  pending.clear();
+  sources_[sid]->enumerate(pending, want_summaries);
+  c.events.clear();
+  c.sums.clear();
+  for (PendingDelivery& d : pending) {
+    if (crashed(d.to)) continue;
+    std::string_view sv{};
+    if (want_summaries) {
+      c.sums.push_back(std::make_unique<std::string>(std::move(d.summary)));
+      sv = *c.sums.back();
+    }
+    c.events.push_back({Event::Kind::kDeliver, d.to, sid, d.msg_id, sv});
+  }
   if (prof_) {
     prof_->count(obs::ProfCounter::kEventsScanned,
-                 static_cast<std::int64_t>(events.size()));
+                 static_cast<std::int64_t>(pending.size()));
+    prof_->count(obs::ProfCounter::kIndexUpdates,
+                 static_cast<std::int64_t>(pending.size()));
   }
-  return events;
+}
+
+void World::wake_hint(Pid pid) {
+  if (pid < 0 || pid >= process_count()) return;
+  if (states_[pid] != ProcState::kBlocked) return;
+  Slot& s = slots_[pid];
+  if (!s.wait_signaled || s.in_resume_index) return;
+  BLUNT_ASSERT(s.wait_pred, "blocked process without predicate");
+  if (prof_) prof_->count(obs::ProfCounter::kEventsScanned);
+  if (s.wait_pred()) resume_region_insert(pid, s.pending_what);
+}
+
+void World::source_event_insert(int source_id, int msg_id, Pid to,
+                                std::string&& summary) {
+  BLUNT_ASSERT(source_id >= 0 &&
+                   source_id < static_cast<int>(source_caches_.size()),
+               "push from unattached source " << source_id);
+  SourceCache& c = source_caches_[source_id];
+  // Deltas arriving before the first sync are dropped; the sync enumerates
+  // the full set.
+  if (!c.push_synced) return;
+  BLUNT_ASSERT(c.events.empty() || c.events.back().msg_id < msg_id,
+               "push-mode insert out of msg_id order");
+  std::string_view sv{};
+  if (trace_.wants_what()) {
+    c.sums.push_back(std::make_unique<std::string>(std::move(summary)));
+    sv = *c.sums.back();
+  }
+  c.events.push_back({Event::Kind::kDeliver, to, source_id, msg_id, sv});
+  if (prof_) {
+    prof_->count(obs::ProfCounter::kEventsScanned);
+    prof_->count(obs::ProfCounter::kIndexUpdates);
+  }
+}
+
+void World::source_event_erase(int source_id, int msg_id) {
+  BLUNT_ASSERT(source_id >= 0 &&
+                   source_id < static_cast<int>(source_caches_.size()),
+               "push from unattached source " << source_id);
+  SourceCache& c = source_caches_[source_id];
+  if (!c.push_synced) return;
+  auto it = std::lower_bound(
+      c.events.begin(), c.events.end(), msg_id,
+      [](const Event& e, int id) { return e.msg_id < id; });
+  BLUNT_ASSERT(it != c.events.end() && it->msg_id == msg_id,
+               "push-mode erase of unindexed msg " << msg_id);
+  if (trace_.wants_what()) {
+    c.sums.erase(c.sums.begin() + (it - c.events.begin()));
+  }
+  c.events.erase(it);
+  if (prof_) {
+    prof_->count(obs::ProfCounter::kEventsScanned);
+    prof_->count(obs::ProfCounter::kIndexUpdates);
+  }
 }
 
 void World::execute(const Event& e) {
@@ -179,12 +422,24 @@ void World::execute(const Event& e) {
     case Event::Kind::kCrash: {
       BLUNT_ASSERT(crashes_used_ < cfg_.max_crashes, "crash budget exceeded");
       Slot& s = slots_[e.pid];
-      BLUNT_ASSERT(s.state != ProcState::kDone &&
-                       s.state != ProcState::kCrashed,
+      const ProcState prev = states_[e.pid];
+      BLUNT_ASSERT(prev != ProcState::kDone && prev != ProcState::kCrashed,
                    "crashing a finished process");
-      s.state = ProcState::kCrashed;
+      // Retire the process from every enabled-index region it occupies.
+      if (s.in_resume_index) resume_region_erase(e.pid);
+      if (prev == ProcState::kBlocked) {
+        if (s.wait_signaled) {
+          --signaled_blocked_;
+        } else {
+          polled_waiters_erase(e.pid);
+        }
+      }
+      crash_region_erase(e.pid);
+      states_[e.pid] = ProcState::kCrashed;
+      ++done_or_crashed_;
       s.parked = {};
       s.wait_pred = nullptr;
+      s.wait_signaled = false;
       ++crashes_used_;
       if (trace_.recording()) {
         trace_.append({.pid = e.pid,
@@ -219,8 +474,21 @@ void World::execute(const Event& e) {
 void World::resume_slot(Pid pid) {
   BLUNT_ASSERT(pid >= 0 && pid < process_count(), "bad pid " << pid);
   Slot& s = slots_[pid];
+  // Snapshot the index membership the process holds going in; after the
+  // coroutine runs, reindex_after_resume diffs against the new state. A
+  // polled-blocked process is enabled via the per-scan merge, not the
+  // maintained region, so its entry removal targets polled_waiters_.
+  const ProcState prev_state = states_[pid];
+  const bool was_in_index = s.in_resume_index;
+  if (prev_state == ProcState::kBlocked) {
+    if (s.wait_signaled) {
+      --signaled_blocked_;
+    } else {
+      polled_waiters_erase(pid);
+    }
+  }
   std::coroutine_handle<> h;
-  switch (s.state) {
+  switch (prev_state) {
     case ProcState::kNotStarted:
       if (trace_.recording()) {
         trace_.append({.pid = pid,
@@ -279,23 +547,67 @@ void World::resume_slot(Pid pid) {
       break;
     default:
       BLUNT_UNREACHABLE("resume of process in state "
-                        << static_cast<int>(s.state));
+                        << static_cast<int>(prev_state));
   }
   BLUNT_ASSERT(h && !h.done(), "resuming an invalid coroutine handle");
-  s.state = ProcState::kRunning;
+  states_[pid] = ProcState::kRunning;
   s.parked = {};
   s.wait_pred = nullptr;
+  s.wait_signaled = false;
   s.pending_random_n = 0;
   h.resume();
   // The process either re-parked (state overwritten by park*) or ran to
   // completion.
   if (s.root.done()) {
     s.root.rethrow_if_exception();
-    s.state = ProcState::kDone;
+    states_[pid] = ProcState::kDone;
+    ++done_or_crashed_;
   } else {
-    BLUNT_ASSERT(s.state != ProcState::kRunning,
+    BLUNT_ASSERT(states_[pid] != ProcState::kRunning,
                  "process p" << pid
                              << " suspended outside a Proc awaitable");
+  }
+  reindex_after_resume(pid, was_in_index);
+}
+
+void World::reindex_after_resume(Pid pid, bool was_in_index) {
+  Slot& s = slots_[pid];
+  bool want_index = false;
+  std::string_view what{};
+  switch (states_[pid]) {
+    case ProcState::kReady:
+      want_index = true;
+      what = s.pending_what;
+      break;
+    case ProcState::kBlocked:
+      if (s.wait_signaled) {
+        ++signaled_blocked_;
+        // Poll once at park; afterwards only wake_hint re-polls. Monotone
+        // predicates make the indexed entry sticky.
+        BLUNT_ASSERT(s.wait_pred, "blocked process without predicate");
+        if (prof_) prof_->count(obs::ProfCounter::kEventsScanned);
+        if (s.wait_pred()) {
+          want_index = true;
+          what = s.pending_what;
+        }
+      } else {
+        polled_waiters_insert(pid);
+      }
+      break;
+    case ProcState::kDone:
+      if (cfg_.max_crashes > 0) crash_region_erase(pid);
+      break;
+    default:
+      BLUNT_UNREACHABLE("unexpected post-resume state for p" << pid);
+  }
+  // The dominant transition (ready -> ready with a new label) rewrites the
+  // event in place; membership changes insert/erase with a tail move.
+  if (was_in_index && want_index) {
+    resume_region_set_what(pid, what);
+  } else if (was_in_index) {
+    resume_region_erase(pid);
+  } else if (want_index) {
+    resume_region_insert(pid, what);
   }
 }
 
@@ -303,7 +615,7 @@ std::string World::describe_stuck() const {
   std::string out;
   for (Pid pid = 0; pid < process_count(); ++pid) {
     const Slot& s = slots_[pid];
-    switch (s.state) {
+    switch (states_[pid]) {
       case ProcState::kNotStarted:
         out += "p" + std::to_string(pid) + " (" + s.name + "): not started\n";
         break;
@@ -463,15 +775,16 @@ void World::mark_line(InvocationId id, int line) {
 void World::park(Pid pid, std::coroutine_handle<> h, StepKind kind,
                  std::string_view what, InvocationId inv) {
   Slot& s = slots_[pid];
-  BLUNT_ASSERT(s.state == ProcState::kRunning,
+  BLUNT_ASSERT(states_[pid] == ProcState::kRunning,
                "park from a process that is not running");
   s.parked = h;
-  s.state = ProcState::kReady;
+  states_[pid] = ProcState::kReady;
   s.pending_kind = kind;
   s.pending_what = what;
   s.pending_inv = inv;
   s.pending_random_n = 0;
   s.wait_pred = nullptr;
+  s.wait_signaled = false;
 }
 
 void World::park_random(Pid pid, std::coroutine_handle<> h, int n,
@@ -482,11 +795,12 @@ void World::park_random(Pid pid, std::coroutine_handle<> h, int n,
 
 void World::park_wait(Pid pid, std::coroutine_handle<> h,
                       std::function<bool()> pred, std::string_view what,
-                      InvocationId inv) {
+                      InvocationId inv, WaitHint hint) {
   park(pid, h, StepKind::kWaitResume, what, inv);
   Slot& s = slots_[pid];
-  s.state = ProcState::kBlocked;
+  states_[pid] = ProcState::kBlocked;
   s.wait_pred = std::move(pred);
+  s.wait_signaled = hint == WaitHint::kSignaled;
 }
 
 int World::drawn_random_value(Pid pid) const {

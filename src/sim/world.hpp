@@ -77,6 +77,14 @@ struct Config {
   /// and off by default, where the step-path cost is one null check per
   /// site (the hotpath experiment gates this).
   bool profile = false;
+  /// Debug oracle for the incremental enabled-index: every enabled_events()
+  /// call additionally rebuilds the list with the pre-index linear rescan
+  /// (poll every slot, re-enumerate every source) and asserts the two lists
+  /// are byte-identical, element by element. O(n) per step — differential
+  /// tests only. Note the oracle re-polls blocked wait predicates, so
+  /// profiler counters with poll-site side effects (quorum_touches) are
+  /// inflated under this flag; schedules and traces are unchanged.
+  bool verify_enabled_index = false;
 };
 
 enum class RunStatus {
@@ -93,6 +101,21 @@ struct RunResult {
   /// Human-readable stuck-state report, filled on kDeadlock when
   /// Config::deadlock_diagnostics is on (see World::describe_stuck).
   std::string deadlock_detail;
+};
+
+/// How a wait_until predicate is re-polled by the scheduler's incremental
+/// enabled-index (see DESIGN.md §14).
+enum class WaitHint {
+  /// Re-poll the predicate on every enabled_events() scan (the pre-index
+  /// behavior). Always correct; right for predicates over state the World
+  /// cannot attribute to a wake site.
+  kPolled,
+  /// Poll once when the process parks, then only when World::wake_hint(pid)
+  /// fires — the waiting object must call wake_hint from every site that can
+  /// turn the predicate true (e.g. an ABD quorum counter reaching majority
+  /// in a message handler). Requires the documented monotonicity contract:
+  /// once true, the predicate stays true until the process resumes.
+  kSignaled,
 };
 
 /// Lightweight handle a process coroutine uses to interact with its World.
@@ -122,8 +145,11 @@ class Proc {
                             InvocationId inv = -1);
   /// Blocks until `pred` holds, then takes one step. `pred` must be monotone
   /// (once true, stays true until the process is resumed) — quorum waits are.
+  /// `hint` selects how the enabled-index re-polls the predicate; kSignaled
+  /// additionally requires the waiting object to call World::wake_hint.
   [[nodiscard]] auto wait_until(std::function<bool()> pred,
-                                std::string_view what, InvocationId inv = -1);
+                                std::string_view what, InvocationId inv = -1,
+                                WaitHint hint = WaitHint::kPolled);
 
  private:
   World* world_ = nullptr;
@@ -140,7 +166,10 @@ class Adversary {
                              const std::vector<Event>& enabled) = 0;
 };
 
-class World {
+/// The World implements EnabledIndexSink so push-mode delivery sources
+/// (net::Network without a fault layer) can maintain the incremental
+/// enabled-index directly instead of being re-enumerated every step.
+class World : public EnabledIndexSink {
  public:
   using ProcessBody = std::function<Task<void>(Proc)>;
 
@@ -176,15 +205,41 @@ class World {
 
   /// Enumerates enabled events in canonical order: process resumptions by
   /// ascending pid, then deliveries by (source id, message id), then crashes
-  /// by ascending pid. Returns a reference into a member buffer reused
-  /// across scheduler steps (the run loop's zero-allocation fast path); the
-  /// events — and the string_views inside them — are valid until the next
+  /// by ascending pid. Assembled from the incremental enabled-index — the
+  /// maintained resume/crash regions and per-source caches, updated on state
+  /// transitions rather than rebuilt per step — in byte-identical content
+  /// and order to the historical linear rescan (enabled_events_rescan is the
+  /// oracle). Returns a reference into a member buffer reused across
+  /// scheduler steps (the run loop's zero-allocation fast path); the events
+  /// — and the string_views inside them — are valid until the next
   /// enabled_events() call. Callers that keep events longer must copy.
   [[nodiscard]] const std::vector<Event>& enabled_events() const;
+  /// The pre-index linear rescan: rebuilds the enabled list from scratch
+  /// into a separate scratch buffer by polling every slot and re-enumerating
+  /// every source. Kept as the debug oracle for the incremental index
+  /// (Config::verify_enabled_index, the differential test); O(n) per call.
+  [[nodiscard]] const std::vector<Event>& enabled_events_rescan() const;
   /// Executes one enabled event (must come from enabled_events()).
   void execute(const Event& e);
-  /// True iff every process is done or crashed.
+  /// True iff every process is done or crashed (O(1): maintained count).
   [[nodiscard]] bool finished() const;
+
+  /// Dependency notification for WaitHint::kSignaled waiters: the object a
+  /// process is blocked on calls this when the watched condition may have
+  /// turned true (quorum counter bumped, message arrived). Re-polls the
+  /// predicate and, if it now holds, inserts the process's resume event into
+  /// the enabled-index (sticky: monotone predicates never go false while
+  /// parked). No-op for non-blocked / polled / already-indexed processes.
+  void wake_hint(Pid pid);
+
+  // -- EnabledIndexSink (called by push-mode delivery sources) --
+
+  void source_event_insert(int source_id, int msg_id, Pid to,
+                           std::string&& summary) override;
+  void source_event_erase(int source_id, int msg_id) override;
+  [[nodiscard]] bool source_wants_summaries() const override {
+    return trace_.wants_what();
+  }
 
   // -- Observation (adversaries, checkers, tests) --
 
@@ -246,7 +301,7 @@ class World {
                    std::string_view what, InvocationId inv);
   void park_wait(Pid pid, std::coroutine_handle<> h,
                  std::function<bool()> pred, std::string_view what,
-                 InvocationId inv);
+                 InvocationId inv, WaitHint hint);
   [[nodiscard]] int drawn_random_value(Pid pid) const;
 
  private:
@@ -259,6 +314,10 @@ class World {
     kCrashed,
   };
 
+  // Per-process storage is split struct-of-arrays style: the scheduler-hot
+  // field (state) lives in its own dense states_ array indexed by pid, the
+  // cold per-coroutine bookkeeping stays in Slot. crashed()/process_done()/
+  // the execute() dispatch touch only states_.
   struct Slot {
     std::string name;
     // Owns the lambda captures the coroutine frame refers into. Held by
@@ -266,21 +325,56 @@ class World {
     std::unique_ptr<ProcessBody> body;
     Task<void> root;
     std::coroutine_handle<> parked;
-    ProcState state = ProcState::kNotStarted;
     StepKind pending_kind = StepKind::kLocal;
     // Borrowed from the awaiter (see Proc::yield): valid while parked, read
     // only before the coroutine resumes.
     std::string_view pending_what;
     InvocationId pending_inv = -1;
     std::function<bool()> wait_pred;
+    // WaitHint::kSignaled park: the predicate is polled at park and on
+    // wake_hint only, never on scans.
+    bool wait_signaled = false;
+    // True iff resume_events_ currently holds this pid's resume event (the
+    // sticky enabled marker for signaled waiters; always true for
+    // kNotStarted/kReady).
+    bool in_resume_index = false;
     int pending_random_n = 0;  // > 0: next resume draws a coin
     int random_value = -1;     // last drawn coin for this process
+  };
+
+  // Per-source slice of the incremental enabled-index: this source's
+  // deliverable events in msg_id order, plus stable storage for their
+  // formatted summaries (only populated at full trace detail; unique_ptr so
+  // the Event string_views survive vector growth). Refreshed per the
+  // source's enumeration_version() contract, or maintained by push deltas.
+  struct SourceCache {
+    std::vector<Event> events;
+    std::vector<std::unique_ptr<std::string>> sums;
+    std::int64_t version_seen = 0;
+    bool synced = false;       // versioned mode: version_seen is meaningful
+    bool push_synced = false;  // push mode: deltas are being applied
   };
 
   void resume_slot(Pid pid);
   void count_step(StepKind kind) {
     if (metrics_) step_counters_[static_cast<std::size_t>(kind)]->inc();
   }
+
+  // Incremental enabled-index maintenance (all O(log n) search + O(n) tail
+  // move worst case, O(1) for the dominant replace-in-place transition).
+  void resume_region_insert(Pid pid, std::string_view what);
+  void resume_region_erase(Pid pid);
+  void resume_region_set_what(Pid pid, std::string_view what);
+  void polled_waiters_insert(Pid pid);
+  void polled_waiters_erase(Pid pid);
+  void crash_region_erase(Pid pid);
+  void rebuild_source_cache(int sid) const;
+  // Reconciles a process's index membership after a state transition
+  // (repark, wait, completion) inside resume_slot.
+  void reindex_after_resume(Pid pid, bool was_in_index);
+  void build_rescan(std::vector<Event>& out,
+                    std::vector<std::vector<PendingDelivery>>& bufs) const;
+  void verify_against_rescan(const std::vector<Event>& events) const;
 
   Config cfg_;
   std::unique_ptr<CoinSource> coins_;
@@ -295,11 +389,35 @@ class World {
   obs::Counter* random_draw_counter_ = nullptr;
   obs::Histogram* inv_latency_ = nullptr;
   std::vector<Slot> slots_;
+  // Hot per-process state, struct-of-arrays twin of slots_ (same indexing).
+  std::vector<ProcState> states_;
   std::vector<DeliverySource*> sources_;
   // Reused by enabled_events(): the event list and one pending-delivery
   // buffer per source, so steady-state enumeration allocates nothing.
   mutable std::vector<Event> events_buf_;
   mutable std::vector<std::vector<PendingDelivery>> pending_bufs_;
+  // -- Incremental enabled-index (DESIGN.md §14) --
+  // Resume events for every process whose resume is currently enabled
+  // (kNotStarted, kReady, and signaled-blocked with a true predicate),
+  // sorted by pid; updated on state transitions, bulk-copied per scan.
+  std::vector<Event> resume_events_;
+  // Pids blocked behind WaitHint::kPolled predicates, sorted; re-polled and
+  // merged into the resume region on every scan (pre-index behavior).
+  std::vector<Pid> polled_waiters_;
+  // Crash events for every live process, sorted by pid; maintained only
+  // when cfg_.max_crashes > 0, offered while crash budget remains.
+  std::vector<Event> crash_events_;
+  // Per-source index slices (parallel to sources_). Mutable: refreshed
+  // lazily inside const enabled_events().
+  mutable std::vector<SourceCache> source_caches_;
+  // Count of blocked signaled-wait processes (for kPredPollsAvoided).
+  int signaled_blocked_ = 0;
+  // Count of kDone/kCrashed processes (O(1) finished()).
+  int done_or_crashed_ = 0;
+  // Scratch for the rescan oracle; separate from the hot-path buffers so
+  // verification never perturbs them.
+  mutable std::vector<Event> oracle_events_;
+  mutable std::vector<std::vector<PendingDelivery>> oracle_pending_;
   std::vector<std::string> object_names_;
   Trace trace_;
   std::vector<InvocationRecord> invocations_;
@@ -353,10 +471,11 @@ struct WaitAwaiter {
   std::function<bool()> pred;
   std::string_view what;
   InvocationId inv;
+  WaitHint hint;
 
   [[nodiscard]] bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    w->park_wait(pid, h, std::move(pred), what, inv);
+    w->park_wait(pid, h, std::move(pred), what, inv, hint);
   }
   void await_resume() const noexcept {}
 };
@@ -374,8 +493,8 @@ inline auto Proc::random(int n, std::string_view what, InvocationId inv) {
 }
 
 inline auto Proc::wait_until(std::function<bool()> pred, std::string_view what,
-                             InvocationId inv) {
-  return detail::WaitAwaiter{&world(), pid_, std::move(pred), what, inv};
+                             InvocationId inv, WaitHint hint) {
+  return detail::WaitAwaiter{&world(), pid_, std::move(pred), what, inv, hint};
 }
 
 }  // namespace blunt::sim

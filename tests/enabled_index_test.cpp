@@ -1,0 +1,203 @@
+// Differential check of the incremental enabled-event index (DESIGN.md §14).
+//
+// Config::verify_enabled_index arms a per-scan oracle inside the World: after
+// assembling the enabled list from the incremental index, the scheduler
+// re-derives it with the pre-overhaul brute-force rescan (re-polling every
+// wait predicate, re-enumerating every delivery source) and BLUNT_ASSERTs
+// byte equality element by element. These tests drive that oracle through
+// every index code path — resume-region replace/erase/insert, polled and
+// signaled waits, pushed network deltas, version-stamped resend tokens, the
+// fault-layer push latch, crashes, and fault ticks — at all three
+// trace-detail levels, and additionally pin the flag-off run to the flag-on
+// fingerprint (the oracle must observe, never perturb).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "objects/abd.hpp"
+#include "programs/weakener.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/coin.hpp"
+#include "sim/world.hpp"
+
+namespace blunt {
+namespace {
+
+struct HashingAdversary final : sim::Adversary {
+  explicit HashingAdversary(sim::Adversary& inner) : inner_(inner) {}
+  std::size_t choose(const sim::World& w,
+                     const std::vector<sim::Event>& ev) override {
+    const std::size_t c = inner_.choose(w, ev);
+    for (const sim::Event& e : ev) {
+      mix(static_cast<std::uint64_t>(static_cast<int>(e.kind)));
+      mix(static_cast<std::uint64_t>(e.pid));
+      mix(static_cast<std::uint64_t>(e.source_id));
+      mix(static_cast<std::uint64_t>(e.msg_id));
+      for (const char ch : e.what) mix(static_cast<unsigned char>(ch));
+    }
+    mix(c);
+    return c;
+  }
+  void mix(std::uint64_t v) {
+    h_ ^= v + 0x9e3779b97f4a7c15ULL + (h_ << 6) + (h_ >> 2);
+  }
+  sim::Adversary& inner_;
+  std::uint64_t h_ = 1469598103934665603ULL;
+};
+
+struct Outcome {
+  sim::RunStatus status = sim::RunStatus::kCompleted;
+  int steps = 0;
+  std::uint64_t hash = 0;  // every offered event, content included
+};
+
+/// Weakener over ABD^k: the headline workload. Signaled quorum waits plus
+/// the weakener's own polled waits, pushed network deltas, no faults.
+Outcome run_weakener(int k, int n, std::uint64_t seed, sim::TraceDetail d,
+                     bool verify) {
+  sim::World w(sim::Config{.metrics = false,
+                           .trace_detail = d,
+                           .verify_enabled_index = verify},
+               std::make_unique<sim::SeededCoin>(seed));
+  objects::AbdRegister r(
+      "R", w,
+      objects::AbdRegister::Options{.num_processes = n,
+                                    .preamble_iterations = k});
+  objects::AbdRegister c(
+      "C", w,
+      objects::AbdRegister::Options{.num_processes = n,
+                                    .initial = sim::Value(std::int64_t{-1}),
+                                    .preamble_iterations = k});
+  programs::WeakenerOutcome out;
+  programs::install_weakener(w, r, c, out);
+  // Replicas beyond the three weakener pids exist as no-op filler processes,
+  // exactly as the scaling probe builds its worlds: every ABD server pid
+  // must be a World process.
+  for (Pid pid = 3; pid < n; ++pid) {
+    w.add_process("s" + std::to_string(pid),
+                  [](sim::Proc) -> sim::Task<void> { co_return; });
+  }
+  sim::UniformAdversary uni(seed * 31 + 7);
+  HashingAdversary adv(uni);
+  const sim::RunResult res = w.run(adv);
+  return {res.status, res.steps, adv.h_};
+}
+
+/// Chaos world: fault plan (crashes, partitions, loss, duplication, ticks),
+/// retransmission tokens (version-stamped source), fault layer set BEFORE
+/// the first step (push latch engaged — the network is rescanned).
+Outcome run_chaos(std::uint64_t seed, int k, sim::TraceDetail d,
+                  bool verify) {
+  const fault::FaultPlan plan = fault::random_plan(
+      fault::mix64(seed * 2 + static_cast<std::uint64_t>(k)), {});
+  sim::World w(
+      sim::Config{.max_crashes = static_cast<int>(plan.crashes.size()),
+                  .metrics = false,
+                  .trace_detail = d,
+                  .verify_enabled_index = verify},
+      std::make_unique<sim::SeededCoin>(seed));
+  objects::AbdRegister reg(
+      "R", w,
+      objects::AbdRegister::Options{.num_processes = plan.num_processes,
+                                    .preamble_iterations = k,
+                                    .max_retransmits = 6});
+  fault::FaultInjector injector(plan, w);
+  reg.set_fault_layer(&injector);
+  for (Pid pid = 0; pid < plan.num_processes; ++pid) {
+    w.add_process("p" + std::to_string(pid),
+                  [&reg, pid](sim::Proc p) -> sim::Task<void> {
+                    co_await reg.write(p, sim::Value(std::int64_t{pid + 1}));
+                    (void)co_await reg.read(p);
+                  });
+  }
+  sim::UniformAdversary uniform(fault::mix64(seed) * 7 + 3);
+  fault::ChaosAdversary chaos(uniform, injector.plan(), &injector);
+  HashingAdversary adv(chaos);
+  const sim::RunResult res = w.run(adv);
+  return {res.status, res.steps, adv.h_};
+}
+
+constexpr sim::TraceDetail kLevels[] = {
+    sim::TraceDetail::kFull, sim::TraceDetail::kKinds, sim::TraceDetail::kNone};
+
+TEST(EnabledIndex, WeakenerMatchesRescanOracleAtEveryDetailLevel) {
+  for (const int k : {1, 2}) {
+    const Outcome off =
+        run_weakener(k, 3, 5 + static_cast<std::uint64_t>(k),
+                     sim::TraceDetail::kFull, /*verify=*/false);
+    EXPECT_EQ(off.status, sim::RunStatus::kCompleted);
+    for (const sim::TraceDetail d : kLevels) {
+      // The oracle asserts inside every scan; surviving the run IS the
+      // differential check. The fingerprint equality then pins the oracle
+      // to pure observation.
+      const Outcome on = run_weakener(k, 3, 5 + static_cast<std::uint64_t>(k),
+                                      d, /*verify=*/true);
+      EXPECT_EQ(on.status, off.status);
+      EXPECT_EQ(on.steps, off.steps);
+      if (d == sim::TraceDetail::kFull) EXPECT_EQ(on.hash, off.hash);
+    }
+  }
+}
+
+TEST(EnabledIndex, WiderQuorumsMatchRescanOracle) {
+  // n = 8 replicas: multi-word-free but multi-majority bitsets, many
+  // signaled waiters parked at once.
+  const Outcome off = run_weakener(2, 8, 77, sim::TraceDetail::kNone,
+                                   /*verify=*/false);
+  const Outcome on = run_weakener(2, 8, 77, sim::TraceDetail::kNone,
+                                  /*verify=*/true);
+  EXPECT_EQ(on.status, off.status);
+  EXPECT_EQ(on.steps, off.steps);
+  EXPECT_EQ(on.hash, off.hash);
+}
+
+TEST(EnabledIndex, ChaosMatchesRescanOracleAtEveryDetailLevel) {
+  for (const std::uint64_t seed : {11ULL, 21ULL, 33ULL}) {
+    for (const int k : {1, 2}) {
+      const Outcome off =
+          run_chaos(seed, k, sim::TraceDetail::kFull, /*verify=*/false);
+      for (const sim::TraceDetail d : kLevels) {
+        const Outcome on = run_chaos(seed, k, d, /*verify=*/true);
+        EXPECT_EQ(on.status, off.status);
+        EXPECT_EQ(on.steps, off.steps);
+        if (d == sim::TraceDetail::kFull) EXPECT_EQ(on.hash, off.hash);
+      }
+    }
+  }
+}
+
+TEST(EnabledIndex, PolledWaitsAndSignaledWaitsCoexist) {
+  // One process blocks on a hand-rolled polled predicate (the kPolled
+  // default) while ABD clients park signaled waits on the same scans.
+  for (const bool verify : {false, true}) {
+    sim::World w(sim::Config{.verify_enabled_index = verify},
+                 std::make_unique<sim::SeededCoin>(3));
+    objects::AbdRegister reg(
+        "R", w, objects::AbdRegister::Options{.num_processes = 3});
+    bool release = false;
+    w.add_process("writer", [&reg](sim::Proc p) -> sim::Task<void> {
+      co_await reg.write(p, sim::Value(std::int64_t{42}));
+    });
+    w.add_process("gate", [&release](sim::Proc p) -> sim::Task<void> {
+      co_await p.wait_until([&release] { return release; }, "gate-open");
+      co_return;
+    });
+    w.add_process("reader",
+                  [&reg, &release](sim::Proc p) -> sim::Task<void> {
+                    (void)co_await reg.read(p);
+                    release = true;
+                  });
+    sim::UniformAdversary adv(99);
+    const sim::RunResult res = w.run(adv);
+    EXPECT_EQ(res.status, sim::RunStatus::kCompleted);
+  }
+}
+
+}  // namespace
+}  // namespace blunt

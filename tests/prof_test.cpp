@@ -83,15 +83,15 @@ TEST(ProfExport, SelfTimeSubtractsChildren) {
   const ProfileSnapshot s = make_snapshot(1);
   // run (1000) - enabled_scan (600) - adversary_choice (0) - execute (0).
   EXPECT_EQ(profile_self_ns(s, Phase::kRun), 400);
-  // enabled_scan (600) - quorum (100).
-  EXPECT_EQ(profile_self_ns(s, Phase::kEnabledScan), 500);
+  // enabled_scan has no children since quorum moved under net_delivery.
+  EXPECT_EQ(profile_self_ns(s, Phase::kEnabledScan), 600);
   // Leaf phases keep their inclusive time.
   EXPECT_EQ(profile_self_ns(s, Phase::kQuorum), 100);
   // Clock granularity can make children read longer than the parent; self
   // time clamps at zero instead of going negative.
   ProfileSnapshot skew = make_snapshot(1);
-  skew.phases[static_cast<std::size_t>(Phase::kQuorum)].ns = 9999;
-  EXPECT_EQ(profile_self_ns(skew, Phase::kEnabledScan), 0);
+  skew.phases[static_cast<std::size_t>(Phase::kEnabledScan)].ns = 9999;
+  EXPECT_EQ(profile_self_ns(skew, Phase::kRun), 0);
 }
 
 TEST(ProfExport, CollapsedStacksFollowTheStaticHierarchy) {
@@ -103,13 +103,13 @@ TEST(ProfExport, CollapsedStacksFollowTheStaticHierarchy) {
   // One line per phase with calls > 0, `parent;...;phase <self_ns>`.
   ASSERT_EQ(lines.size(), 4u);
   EXPECT_EQ(lines[0], "run 400");
-  EXPECT_EQ(lines[1], "run;enabled_scan 500");
-  EXPECT_EQ(lines[2], "run;enabled_scan;quorum 100");
+  EXPECT_EQ(lines[1], "run;enabled_scan 600");
+  EXPECT_EQ(lines[2], "run;execute;net_delivery;quorum 100");
   EXPECT_EQ(lines[3], "lin_check 50");
   // A root frame prefixes every stack (per-snapshot attribution in merged
   // flamegraph files).
   const std::string tagged = profile_to_collapsed_stacks(s, "n64");
-  EXPECT_NE(tagged.find("n64;run;enabled_scan;quorum 100\n"),
+  EXPECT_NE(tagged.find("n64;run;execute;net_delivery;quorum 100\n"),
             std::string::npos);
   // An empty snapshot exports as empty text, not a header or a zero line.
   EXPECT_EQ(profile_to_collapsed_stacks(ProfileSnapshot{}), "");

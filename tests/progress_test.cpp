@@ -349,5 +349,82 @@ TEST(ProgressWatchMulti, OnlyMissingFilesKeepsPolling) {
             1);
 }
 
+TEST(ProgressWatchMulti, GlobPatternExpandsSortedAndKeepsMissesVerbatim) {
+  TempFile f1("globa1");
+  TempFile f2("globa2");
+  {
+    std::ofstream(f1.path()) << "";
+    std::ofstream(f2.path()) << "";
+  }
+  const std::string pattern =
+      std::string(::testing::TempDir()) + "blunt_progress_globa?.jsonl";
+  // Matches expand sorted; listing a matched file alongside its pattern
+  // does not duplicate it.
+  const std::vector<std::string> want{f1.path(), f2.path()};
+  EXPECT_EQ(expand_progress_patterns({pattern}), want);
+  EXPECT_EQ(expand_progress_patterns({pattern, f2.path()}), want);
+  // A pattern with no match survives verbatim — literal not-yet-created
+  // files stay tracked, and a never-matching wildcard is just a file that
+  // never exists (the watch gives up at max_polls as usual).
+  const std::string miss =
+      std::string(::testing::TempDir()) + "blunt_progress_globnope*.jsonl";
+  EXPECT_EQ(expand_progress_patterns({miss}),
+            std::vector<std::string>{miss});
+  EXPECT_EQ(watch_progress_multi({miss}, 10, stderr, /*max_polls=*/3), 1);
+}
+
+TEST(ProgressWatchMulti, GlobWatchesWorkerFilesAndTerminates) {
+  ProgressSample done1 = make_sample();
+  done1.worker = "w1";
+  done1.done = true;
+  ProgressSample done2 = make_sample();
+  done2.worker = "w2";
+  done2.done = true;
+
+  TempFile f1("globd1");
+  TempFile f2("globd2");
+  {
+    std::ofstream o1(f1.path());
+    o1 << progress_to_json(done1).dump() << '\n';
+    std::ofstream o2(f2.path());
+    o2 << progress_to_json(done2).dump() << '\n';
+  }
+  const std::string pattern =
+      std::string(::testing::TempDir()) + "blunt_progress_globd*.jsonl";
+  EXPECT_EQ(watch_progress_multi({pattern}, 10, stderr, /*max_polls=*/5), 0);
+}
+
+TEST(ProgressWatchMulti, GlobDiscoversWorkerFileCreatedMidWatch) {
+  // The --workers N runner names heartbeat files "<progress>.w<k>" as each
+  // worker claims its lease, so a watch started early must pick up files
+  // that did not exist on its first poll. Here the pattern initially
+  // matches only a live worker; a finalizer record appears in a NEW file
+  // mid-watch and must terminate the watch — which can only happen if the
+  // pattern is re-expanded between polls.
+  ProgressSample live = make_sample();
+  live.worker = "w1";
+  ProgressSample fin = make_sample();
+  fin.worker = "w2";
+  fin.done = true;
+  fin.complete = true;
+
+  TempFile f1("globl1");
+  TempFile f2("globl2");
+  {
+    std::ofstream o1(f1.path());
+    o1 << progress_to_json(live).dump() << '\n';
+  }
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    std::ofstream o2(f2.path());
+    o2 << progress_to_json(fin).dump() << '\n';
+  });
+  const std::string pattern =
+      std::string(::testing::TempDir()) + "blunt_progress_globl?.jsonl";
+  EXPECT_EQ(watch_progress_multi({pattern}, 10, stderr, /*max_polls=*/100),
+            0);
+  writer.join();
+}
+
 }  // namespace
 }  // namespace blunt::exp

@@ -87,13 +87,15 @@ int usage(const char* argv0) {
       "           [--coverage] [--profile]\n"
       "           [--progress FILE] [--progress-interval MS]\n"
       "           [--workers N | --worker] [--lease-ttl MS] [--worker-id ID]\n"
-      "       %s watch FILE... [--poll MS]\n",
+      "       %s watch FILE_OR_GLOB... [--poll MS]\n",
       argv0, argv0, argv0);
   return 2;
 }
 
 int watch_main(int argc, char** argv, const char* argv0) {
-  // argv[0..] are FILE operands (one per worker); optional --poll MS.
+  // argv[0..] are FILE operands or glob patterns (quote them so the shell
+  // does not expand early — `watch 'run.jsonl*'` discovers per-worker
+  // heartbeat files as they appear); optional --poll MS.
   std::vector<std::string> paths;
   int poll_ms = 250;
   for (int i = 0; i < argc; ++i) {
@@ -107,7 +109,11 @@ int watch_main(int argc, char** argv, const char* argv0) {
     }
   }
   if (paths.empty()) return usage(argv0);
-  if (paths.size() == 1) {
+  // A single literal (no glob metacharacters) keeps the classic one-file
+  // tail; anything else — several operands or a pattern — goes through the
+  // re-globbing multi-watch so late worker files are discovered.
+  if (paths.size() == 1 &&
+      paths[0].find_first_of("*?[") == std::string::npos) {
     return blunt::exp::watch_progress(paths[0], poll_ms, stdout);
   }
   return blunt::exp::watch_progress_multi(paths, poll_ms, stdout);
